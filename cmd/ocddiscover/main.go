@@ -1,0 +1,184 @@
+// Command ocddiscover runs OCDDISCOVER on a CSV file and prints the
+// discovered order dependencies, order compatibility dependencies and
+// column reductions, together with execution statistics.
+//
+// Usage:
+//
+//	ocddiscover -input data.csv [-workers 8] [-timeout 5h] [-sep ';']
+//	            [-no-header] [-force-string] [-max-level 0]
+//	            [-top-entropy 0] [-expand 20]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ocd"
+)
+
+func main() {
+	var (
+		input       = flag.String("input", "", "CSV file to profile (required)")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock limit, e.g. 5h (0 = none)")
+		sep         = flag.String("sep", ",", "field separator")
+		noHeader    = flag.Bool("no-header", false, "first record is data, not column names")
+		forceString = flag.Bool("force-string", false, "disable type inference, order lexicographically")
+		maxLevel    = flag.Int("max-level", 0, "stop after this tree level (0 = none)")
+		maxCand     = flag.Int64("max-candidates", 0, "stop after this many candidates (0 = none)")
+		topEntropy  = flag.Int("top-entropy", 0, "profile only the n most diverse columns (0 = all)")
+		expand      = flag.Int("expand", 0, "also print up to n expanded ODs")
+		asJSON      = flag.Bool("json", false, "emit the result as JSON")
+		depsOut     = flag.String("deps-out", "", "write discovered dependencies in odverify's format to this file")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "ocddiscover: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := []ocd.LoadOption{}
+	if *forceString {
+		opts = append(opts, ocd.ForceString())
+	}
+	if *noHeader {
+		opts = append(opts, ocd.NoHeader())
+	}
+	if len(*sep) > 0 && rune((*sep)[0]) != ',' {
+		opts = append(opts, ocd.Delimiter(rune((*sep)[0])))
+	}
+	tbl, err := ocd.LoadCSVFile(*input, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+		os.Exit(1)
+	}
+	if !*asJSON {
+		fmt.Printf("table %s: %d rows × %d columns\n", tbl.Name(), tbl.NumRows(), tbl.NumCols())
+	}
+
+	dopts := ocd.Options{
+		Workers:       *workers,
+		Timeout:       *timeout,
+		MaxLevel:      *maxLevel,
+		MaxCandidates: *maxCand,
+	}
+	if *topEntropy > 0 {
+		dopts.Columns = tbl.TopEntropyColumns(*topEntropy)
+		fmt.Printf("restricting to top-%d entropy columns: %v\n", *topEntropy, dopts.Columns)
+	}
+
+	start := time.Now()
+	res, err := tbl.Discover(dopts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+		os.Exit(1)
+	}
+	_ = start
+
+	if *depsOut != "" {
+		if err := writeDeps(*depsOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		type jsonOut struct {
+			Table            string     `json:"table"`
+			Rows             int        `json:"rows"`
+			Cols             int        `json:"cols"`
+			OCDs             []ocd.OCD  `json:"ocds"`
+			ODs              []ocd.OD   `json:"ods"`
+			ConstantColumns  []string   `json:"constant_columns,omitempty"`
+			EquivalentGroups [][]string `json:"equivalent_groups,omitempty"`
+			ExpandedODs      []ocd.OD   `json:"expanded_ods,omitempty"`
+			ExpandedODCount  int64      `json:"expanded_od_count"`
+			Checks           int64      `json:"checks"`
+			Candidates       int64      `json:"candidates"`
+			ElapsedMS        int64      `json:"elapsed_ms"`
+			Truncated        bool       `json:"truncated"`
+		}
+		out := jsonOut{
+			Table: tbl.Name(), Rows: tbl.NumRows(), Cols: tbl.NumCols(),
+			OCDs: res.OCDs, ODs: res.ODs,
+			ConstantColumns: res.ConstantColumns, EquivalentGroups: res.EquivalentGroups,
+			ExpandedODCount: res.CountODs(),
+			Checks:          res.Stats.Checks, Candidates: res.Stats.Candidates,
+			ElapsedMS: res.Stats.Elapsed.Milliseconds(), Truncated: res.Stats.Truncated,
+		}
+		if *expand > 0 {
+			out.ExpandedODs = res.ExpandODs(*expand)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(res.ConstantColumns) > 0 {
+		fmt.Printf("\nconstant columns (ordered by everything):\n")
+		for _, c := range res.ConstantColumns {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+	if len(res.EquivalentGroups) > 0 {
+		fmt.Printf("\norder-equivalent column groups:\n")
+		for _, g := range res.EquivalentGroups {
+			fmt.Printf("  %v\n", g)
+		}
+	}
+	fmt.Printf("\norder compatibility dependencies (%d):\n", len(res.OCDs))
+	for _, d := range res.OCDs {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Printf("\norder dependencies (%d):\n", len(res.ODs))
+	for _, d := range res.ODs {
+		fmt.Printf("  %s\n", d)
+	}
+	if *expand > 0 {
+		exp := res.ExpandODs(*expand)
+		fmt.Printf("\nexpanded ODs (first %d of %d):\n", len(exp), res.CountODs())
+		for _, d := range exp {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+	fmt.Printf("\n%s\n", res.Summary())
+}
+
+// writeDeps saves the result in odverify's dependency-file format, closing
+// the profile → enforce loop: ocddiscover -deps-out constraints.txt, then
+// odverify -deps constraints.txt on future versions of the data.
+func writeDeps(path string, res *ocd.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# generated by ocddiscover\n")
+	for _, d := range res.OCDs {
+		fmt.Fprintf(w, "%s ~ %s\n", strings.Join(d.Left, ", "), strings.Join(d.Right, ", "))
+	}
+	for _, d := range res.ODs {
+		fmt.Fprintf(w, "%s -> %s\n", strings.Join(d.Left, ", "), strings.Join(d.Right, ", "))
+	}
+	for _, g := range res.EquivalentGroups {
+		for _, other := range g[1:] {
+			fmt.Fprintf(w, "%s -> %s\n", g[0], other)
+			fmt.Fprintf(w, "%s -> %s\n", other, g[0])
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package ocd
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ocd/internal/attr"
+	"ocd/internal/core"
+)
+
+// Options configure a discovery run. The zero value asks for a full run on
+// all columns with one worker per CPU.
+type Options struct {
+	// Workers is the number of goroutines traversing the candidate tree;
+	// < 1 selects GOMAXPROCS.
+	Workers int
+	// Timeout bounds wall-clock time; on expiry partial results are
+	// returned with Stats.Truncated set (the paper's 5-hour-threshold
+	// reporting). Zero means unlimited.
+	Timeout time.Duration
+	// MaxCandidates aborts once this many candidates were generated
+	// (0 = unlimited), a guard against quasi-constant blow-ups.
+	MaxCandidates int64
+	// MaxLevel bounds the candidate tree depth (|X|+|Y| ≤ MaxLevel);
+	// 0 = unlimited.
+	MaxLevel int
+	// Columns restricts discovery to the named columns (nil = all), e.g.
+	// the output of Table.TopEntropyColumns.
+	Columns []string
+	// DisableColumnReduction skips the constant/equivalent column
+	// reduction phase; for ablation only.
+	DisableColumnReduction bool
+	// UseSortedPartitions switches the order-checking backend to
+	// incrementally derived sorted partitions (the §5.3.1 technique).
+	// Results are identical to the default re-sorting backend.
+	UseSortedPartitions bool
+}
+
+// OCD is an order compatibility dependency Left ~ Right over column names.
+type OCD struct {
+	Left  []string `json:"left"`
+	Right []string `json:"right"`
+}
+
+// String renders the OCD as "[a,b] ~ [c]".
+func (d OCD) String() string { return bracket(d.Left) + " ~ " + bracket(d.Right) }
+
+// OD is an order dependency Left → Right over column names.
+type OD struct {
+	Left  []string `json:"left"`
+	Right []string `json:"right"`
+}
+
+// String renders the OD as "[a,b] -> [c]".
+func (d OD) String() string { return bracket(d.Left) + " -> " + bracket(d.Right) }
+
+func bracket(cols []string) string { return "[" + strings.Join(cols, ",") + "]" }
+
+// Stats reports execution counters of a run (the Table 6 statistics).
+type Stats struct {
+	// Checks is the number of order checks performed.
+	Checks int64
+	// Candidates is the number of tree candidates generated.
+	Candidates int64
+	// Levels is the number of tree levels processed.
+	Levels int
+	// Elapsed is the wall-clock runtime.
+	Elapsed time.Duration
+	// Truncated marks a partial run (timeout or candidate cap).
+	Truncated bool
+}
+
+// Result holds the dependencies found by Discover.
+type Result struct {
+	// OCDs are the minimal order compatibility dependencies over reduced
+	// columns: disjoint sides, constants removed, one representative per
+	// order-equivalence class.
+	OCDs []OCD
+	// ODs are the order dependencies found during the traversal.
+	ODs []OD
+	// ConstantColumns are the constant columns removed during reduction;
+	// each is ordered by every attribute list.
+	ConstantColumns []string
+	// EquivalentGroups are the order-equivalence classes of size ≥ 2; the
+	// first column of each group is the representative used in OCDs/ODs.
+	EquivalentGroups [][]string
+	// Stats holds execution counters.
+	Stats Stats
+
+	inner *core.Result
+	names func(attr.ID) string
+}
+
+// Discover runs OCDDISCOVER on the table.
+func (t *Table) Discover(opts Options) (*Result, error) {
+	if t == nil || t.rel == nil {
+		return nil, errNilTable
+	}
+	var cols []attr.ID
+	if opts.Columns != nil {
+		cols = make([]attr.ID, len(opts.Columns))
+		for i, c := range opts.Columns {
+			id, err := t.colID(c)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = id
+		}
+	}
+	inner := core.Discover(t.rel, core.Options{
+		Workers:                opts.Workers,
+		Timeout:                opts.Timeout,
+		MaxCandidates:          opts.MaxCandidates,
+		MaxLevel:               opts.MaxLevel,
+		Columns:                cols,
+		DisableColumnReduction: opts.DisableColumnReduction,
+		UseSortedPartitions:    opts.UseSortedPartitions,
+	})
+	return t.wrapResult(inner), nil
+}
+
+func (t *Table) wrapResult(inner *core.Result) *Result {
+	names := t.rel.NameOf
+	res := &Result{inner: inner, names: names}
+	for _, d := range inner.OCDs {
+		res.OCDs = append(res.OCDs, OCD{Left: nameList(d.X, names), Right: nameList(d.Y, names)})
+	}
+	for _, d := range inner.ODs {
+		res.ODs = append(res.ODs, OD{Left: nameList(d.X, names), Right: nameList(d.Y, names)})
+	}
+	for _, c := range inner.Constants {
+		res.ConstantColumns = append(res.ConstantColumns, names(c))
+	}
+	for _, class := range inner.EquivClasses {
+		res.EquivalentGroups = append(res.EquivalentGroups, nameList(attrListOf(class), names))
+	}
+	res.Stats = Stats{
+		Checks:     inner.Stats.Checks,
+		Candidates: inner.Stats.Candidates,
+		Levels:     inner.Stats.Levels,
+		Elapsed:    inner.Stats.Elapsed,
+		Truncated:  inner.Stats.Truncated,
+	}
+	return res
+}
+
+func attrListOf(ids []attr.ID) attr.List {
+	l := make(attr.List, len(ids))
+	copy(l, ids)
+	return l
+}
+
+func nameList(l attr.List, names func(attr.ID) string) []string {
+	out := make([]string, len(l))
+	for i, a := range l {
+		out[i] = names(a)
+	}
+	return out
+}
+
+// ExpandODs materializes the expanded OD view of the result (Section 5.2):
+// the OD pair of every OCD, the pairwise ODs of every equivalence group,
+// one [] → [C] per constant column, and every Replace-theorem substitution
+// of equivalent columns. limit caps the output size (≤ 0 = no cap).
+func (r *Result) ExpandODs(limit int) []OD {
+	inner := r.inner.ExpandedODs(limit)
+	out := make([]OD, len(inner))
+	for i, d := range inner {
+		out[i] = OD{Left: nameList(d.X, r.names), Right: nameList(d.Y, r.names)}
+	}
+	return out
+}
+
+// CountODs counts the expanded OD view without materializing it — the |Od|
+// statistic reported for OCDDISCOVER in Table 6.
+func (r *Result) CountODs() int64 { return r.inner.CountExpandedODs() }
+
+// Summary renders a short human-readable report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d OCDs, %d ODs, %d constant columns, %d equivalence groups\n",
+		len(r.OCDs), len(r.ODs), len(r.ConstantColumns), len(r.EquivalentGroups))
+	fmt.Fprintf(&b, "expanded ODs: %d | checks: %d | candidates: %d | elapsed: %v",
+		r.CountODs(), r.Stats.Checks, r.Stats.Candidates, r.Stats.Elapsed.Round(time.Microsecond))
+	if r.Stats.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	return b.String()
+}

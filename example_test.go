@@ -1,0 +1,86 @@
+package ocd_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ocd"
+)
+
+const taxCSV = `name,income,savings,bracket,tax
+T. Green,35000,3000,1,5250
+J. Smith,40000,4000,1,6000
+J. Doe,40000,3800,1,6000
+S. Black,55000,6500,2,8500
+W. White,60000,6500,2,9500
+M. Darrel,80000,10000,3,14000
+`
+
+// Discover order dependencies in the paper's Table 1 relation.
+func Example() {
+	tbl, err := ocd.LoadCSV(strings.NewReader(taxCSV), "TaxInfo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tbl.Discover(ocd.Options{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equivalent:", res.EquivalentGroups[0])
+	fmt.Println(res.OCDs[0])
+	fmt.Println(res.ODs[0])
+	// Output:
+	// equivalent: [income tax]
+	// [income] ~ [savings]
+	// [income] -> [bracket]
+}
+
+// Rewrite the introduction's ORDER BY clause using discovered dependencies.
+func ExampleTable_SimplifyOrderBy() {
+	tbl, _ := ocd.LoadCSV(strings.NewReader(taxCSV), "TaxInfo")
+	cols, _ := tbl.SimplifyOrderBy("income", "bracket", "tax")
+	fmt.Println(strings.Join(cols, ", "))
+	// Output:
+	// income
+}
+
+// Rank columns by diversity to pick profiling targets (Section 5.4).
+func ExampleTable_TopEntropyColumns() {
+	tbl, _ := ocd.LoadCSV(strings.NewReader(taxCSV), "TaxInfo")
+	fmt.Println(tbl.TopEntropyColumns(2))
+	// Output:
+	// [name income]
+}
+
+// Measure how far an almost-holding dependency is from exact.
+func ExampleTable_ApproximateODError() {
+	tbl, _ := ocd.NewTable("t", []string{"a", "b"}, [][]string{
+		{"1", "1"}, {"2", "2"}, {"3", "9"}, {"4", "4"}, {"5", "5"},
+	})
+	e, _ := tbl.ApproximateODError([]string{"a"}, []string{"b"})
+	fmt.Printf("%.1f\n", e)
+	// Output:
+	// 0.2
+}
+
+// Find candidate keys.
+func ExampleTable_UniqueColumnCombinations() {
+	tbl, _ := ocd.LoadCSV(strings.NewReader(taxCSV), "TaxInfo")
+	uccs := tbl.UniqueColumnCombinations()
+	fmt.Println(strings.Join(uccs[0], ","))
+	// Output:
+	// name
+}
+
+// Discover dependencies that need a descending reading of a column.
+func ExampleTable_DiscoverBidirectional() {
+	tbl, _ := ocd.NewTable("sales", []string{"price", "discount"}, [][]string{
+		{"10", "30"}, {"20", "20"}, {"30", "10"},
+	})
+	res, _ := tbl.DiscoverBidirectional(ocd.Options{Workers: 1})
+	g := res.EquivalentGroups[0]
+	fmt.Printf("%s <-> %s\n", g[0], g[1])
+	// Output:
+	// price <-> discount DESC
+}

@@ -1,0 +1,62 @@
+// Quickstart: load a small CSV table and discover its order dependencies.
+//
+// This walks through the paper's Table 1 example — a table of incomes,
+// savings, tax brackets and taxes — and prints every kind of output the
+// discovery produces: order-equivalent columns, constants, order
+// compatibility dependencies and order dependencies.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ocd"
+)
+
+const taxCSV = `name,income,savings,bracket,tax
+T. Green,35000,3000,1,5250
+J. Smith,40000,4000,1,6000
+J. Doe,40000,3800,1,6000
+S. Black,55000,6500,2,8500
+W. White,60000,6500,2,9500
+M. Darrel,80000,10000,3,14000
+`
+
+func main() {
+	tbl, err := ocd.LoadCSV(strings.NewReader(taxCSV), "TaxInfo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s: %d rows × %d columns %v\n\n",
+		tbl.Name(), tbl.NumRows(), tbl.NumCols(), tbl.Columns())
+
+	res, err := tbl.Discover(ocd.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("order-equivalent column groups (A ↔ B):")
+	for _, g := range res.EquivalentGroups {
+		fmt.Printf("  %v\n", g) // income ↔ tax: ordering one orders the other
+	}
+
+	fmt.Println("\norder compatibility dependencies (X ~ Y):")
+	for _, d := range res.OCDs {
+		fmt.Printf("  %s\n", d) // e.g. [income] ~ [savings]
+	}
+
+	fmt.Println("\norder dependencies (X -> Y):")
+	for _, d := range res.ODs {
+		fmt.Printf("  %s\n", d) // e.g. [income] -> [bracket]
+	}
+
+	fmt.Println("\nexpanded view (first 10):")
+	for _, d := range res.ExpandODs(10) {
+		fmt.Printf("  %s\n", d)
+	}
+
+	fmt.Printf("\n%s\n", res.Summary())
+}

@@ -1,0 +1,185 @@
+package ocd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiscoverBidirectional(t *testing.T) {
+	// price rises as discount falls: only a DESC reading aligns them.
+	tbl, err := NewTable("sales", []string{"price", "discount"}, [][]string{
+		{"10", "30"}, {"20", "20"}, {"30", "10"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.DiscoverBidirectional(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perfectly reversed columns collapse into one directed class
+	if len(res.EquivalentGroups) != 1 {
+		t.Fatalf("EquivalentGroups = %v", res.EquivalentGroups)
+	}
+	g := res.EquivalentGroups[0]
+	if g[0].String() != "price" || g[1].String() != "discount DESC" {
+		t.Errorf("group = %v", g)
+	}
+	// the unidirectional API sees nothing
+	uni, err := tbl.Discover(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.EquivalentGroups) != 0 || len(uni.OCDs) != 0 {
+		t.Error("unidirectional run should find nothing on reversed columns")
+	}
+}
+
+func TestDiscoverBidirectionalOCDs(t *testing.T) {
+	tbl, err := NewTable("t", []string{"a", "b"}, [][]string{
+		{"1", "9"}, {"1", "8"}, {"2", "7"}, {"3", "7"}, {"4", "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.DiscoverBidirectional(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.OCDs {
+		if len(d.Left) == 1 && len(d.Right) == 1 &&
+			d.Left[0].String() == "a" && d.Right[0].String() == "b DESC" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing a ~ b DESC: %v", res.OCDs)
+	}
+	if res.Checks == 0 || res.Candidates == 0 {
+		t.Error("stats not populated")
+	}
+	var nilT *Table
+	if _, err := nilT.DiscoverBidirectional(Options{}); err == nil {
+		t.Error("nil table should error")
+	}
+}
+
+func TestApproximateODs(t *testing.T) {
+	tbl, err := NewTable("t", []string{"a", "b"}, [][]string{
+		{"1", "1"}, {"2", "2"}, {"3", "9"}, {"4", "4"}, {"5", "5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tbl.ApproximateODError([]string{"a"}, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0.2 {
+		t.Errorf("error = %v, want 0.2", e)
+	}
+	if _, err := tbl.ApproximateODError([]string{"nope"}, []string{"b"}); err == nil {
+		t.Error("unknown column should error")
+	}
+	aods := tbl.ApproximateODs(0.25)
+	hasAB := false
+	for _, d := range aods {
+		if strings.Join(d.Left, ",") == "a" && strings.Join(d.Right, ",") == "b" {
+			hasAB = true
+			if d.Error != 0.2 {
+				t.Errorf("a→b error = %v", d.Error)
+			}
+		}
+	}
+	if !hasAB {
+		t.Errorf("a→b missing: %v", aods)
+	}
+}
+
+func TestUniqueColumnCombinations(t *testing.T) {
+	tbl, err := NewTable("t", []string{"id", "grp", "sub"}, [][]string{
+		{"1", "x", "1"}, {"2", "x", "2"}, {"3", "y", "1"}, {"4", "y", "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uccs := tbl.UniqueColumnCombinations()
+	if len(uccs) == 0 {
+		t.Fatal("no UCCs found")
+	}
+	if strings.Join(uccs[0], ",") != "id" {
+		t.Errorf("smallest UCC should be the id key: %v", uccs)
+	}
+	// {grp, sub} is the other minimal key
+	found := false
+	for _, u := range uccs {
+		if strings.Join(u, ",") == "grp,sub" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("composite key grp,sub missing: %v", uccs)
+	}
+}
+
+func TestStreamMaintenance(t *testing.T) {
+	cols := []string{"a", "b"}
+	s, err := NewStream("t", cols, [][]string{{"1", "1"}, {"2", "2"}}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 2 {
+		t.Errorf("NumRows = %d", s.NumRows())
+	}
+	// consistent append: nothing dies
+	rep, err := s.AppendRows([][]string{{"3", "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DiedOCDs)+len(rep.DiedODs)+len(rep.BrokenGroups) != 0 {
+		t.Errorf("consistent append killed facts: %+v", rep)
+	}
+	// breaking append: the a↔b equivalence group shatters
+	rep, err = s.AppendRows([][]string{{"4", "0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BrokenGroups) != 1 || strings.Join(rep.BrokenGroups[0], ",") != "a,b" {
+		t.Errorf("expected group a,b to break: %+v", rep)
+	}
+	if s.NumRows() != 4 {
+		t.Errorf("NumRows = %d", s.NumRows())
+	}
+	if rep.Checks == 0 {
+		t.Error("checks not counted")
+	}
+}
+
+func TestDiscoverApproximate(t *testing.T) {
+	tbl, err := NewTable("t", []string{"a", "b"}, [][]string{
+		{"1", "1"}, {"2", "2"}, {"3", "3"}, {"4", "4"}, {"5", "5"},
+		{"6", "6"}, {"7", "7"}, {"8", "8"}, {"9", "0"}, {"10", "10"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := tbl.DiscoverApproximate(0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.OCDs) != 0 {
+		t.Errorf("exact mode should find nothing: %v", exact.OCDs)
+	}
+	loose, err := tbl.DiscoverApproximate(0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.OCDs) != 1 || loose.OCDs[0].Error != 0.1 {
+		t.Errorf("eps=0.1 should find a ~ b at error 0.1: %v", loose.OCDs)
+	}
+	var nilT *Table
+	if _, err := nilT.DiscoverApproximate(0, Options{}); err == nil {
+		t.Error("nil table should error")
+	}
+}

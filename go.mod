@@ -1,0 +1,3 @@
+module ocd
+
+go 1.23

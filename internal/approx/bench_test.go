@@ -1,0 +1,25 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+func BenchmarkKeepCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(281))
+	rows := make([][]int, 10_000)
+	for i := range rows {
+		v := rng.Intn(5000)
+		rows[i] = []int{v, v + rng.Intn(10) - 5} // nearly aligned columns
+	}
+	r := relation.FromInts("bench", []string{"A", "B"}, rows)
+	c := NewChecker(r)
+	x, y := attr.NewList(0), attr.NewList(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.KeepCount(x, y)
+	}
+}

@@ -1,0 +1,128 @@
+package approx
+
+import (
+	"sort"
+	"time"
+
+	"ocd/internal/attr"
+)
+
+// Approximate discovery runs the OCDDISCOVER tree with ε-tolerant checks:
+// a candidate X ~ Y is ε-valid when its OCD error (minimal fraction of rows
+// to remove) is at most ε. Crucially, the paper's pruning stays sound under
+// approximation: if a kept-row subset S makes an extended OCD XA ~ Y hold,
+// the downward-closure theorem (Theorem 3.6) applied on S makes X ~ Y hold
+// on S too, so err(X ~ Y) ≤ err(XA ~ Y) and ε-invalid candidates cannot
+// have ε-valid extensions. At ε = 0 the traversal coincides with the exact
+// algorithm (with column reduction disabled).
+
+// AOCD is an approximate order compatibility dependency with its error.
+type AOCD struct {
+	X, Y  attr.List
+	Error float64
+}
+
+// DiscoverOptions bound an approximate discovery run.
+type DiscoverOptions struct {
+	// MaxLevel bounds the tree depth (0 = none).
+	MaxLevel int
+	// MaxCandidates bounds generated candidates (0 = none).
+	MaxCandidates int64
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+}
+
+// DiscoverResult holds approximate discovery output.
+type DiscoverResult struct {
+	OCDs      []AOCD
+	Checks    int64
+	Truncated bool
+}
+
+// Discover finds all ε-approximate OCDs reachable by the (exact-algorithm)
+// tree traversal: both sides disjoint, extensions generated on a side only
+// while its ε-approximate OD fails, duplicates merged. Constant columns are
+// skipped (they pair trivially with everything).
+func (c *Checker) Discover(eps float64, opts DiscoverOptions) *DiscoverResult {
+	res := &DiscoverResult{}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	var universe []attr.ID
+	for _, a := range c.r.Attrs() {
+		if !c.r.IsConstant(a) {
+			universe = append(universe, a)
+		}
+	}
+	type pair struct{ x, y attr.List }
+	var level []pair
+	for i := 0; i < len(universe); i++ {
+		for j := i + 1; j < len(universe); j++ {
+			level = append(level, pair{attr.Singleton(universe[i]), attr.Singleton(universe[j])})
+		}
+	}
+	generated := int64(len(level))
+
+	lvl := 2
+	for len(level) > 0 {
+		if expired() || (opts.MaxLevel > 0 && lvl > opts.MaxLevel) ||
+			(opts.MaxCandidates > 0 && generated > opts.MaxCandidates) {
+			res.Truncated = true
+			break
+		}
+		seen := map[string]struct{}{}
+		var next []pair
+		for _, p := range level {
+			if expired() {
+				res.Truncated = true
+				break
+			}
+			res.Checks++
+			e := c.OCDError(p.x, p.y)
+			if e > eps {
+				continue // ε-downward closure prunes the subtree
+			}
+			res.OCDs = append(res.OCDs, AOCD{X: p.x, Y: p.y, Error: e})
+			var free []attr.ID
+			used := p.x.Set().Union(p.y.Set())
+			for _, a := range universe {
+				if !used.Has(a) {
+					free = append(free, a)
+				}
+			}
+			push := func(np pair) {
+				k := attr.NewPair(np.x, np.y).UnorderedKey()
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					next = append(next, np)
+				}
+			}
+			res.Checks += 2
+			if c.Error(p.x, p.y) > eps {
+				for _, a := range free {
+					push(pair{p.x.Append(a), p.y})
+				}
+			}
+			if c.Error(p.y, p.x) > eps {
+				for _, a := range free {
+					push(pair{p.x, p.y.Append(a)})
+				}
+			}
+		}
+		generated += int64(len(next))
+		level = next
+		lvl++
+	}
+
+	sort.Slice(res.OCDs, func(i, j int) bool {
+		a, b := res.OCDs[i], res.OCDs[j]
+		if cmp := a.X.Compare(b.X); cmp != 0 {
+			return cmp < 0
+		}
+		return a.Y.Compare(b.Y) < 0
+	})
+	return res
+}

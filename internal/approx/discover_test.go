@@ -1,0 +1,129 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/core"
+	"ocd/internal/relation"
+)
+
+// TestEpsilonZeroMatchesExact: at ε = 0 the approximate traversal must emit
+// exactly the OCD set of the exact algorithm (with column reduction off, on
+// data without constant columns).
+func TestEpsilonZeroMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	for trial := 0; trial < 25; trial++ {
+		rows := make([][]int, 3+rng.Intn(15))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		}
+		r := relation.FromInts("rand", nil, rows)
+		skip := false
+		for c := 0; c < r.NumCols(); c++ {
+			if r.IsConstant(attr.ID(c)) {
+				skip = true // approx skips constants; exact-without-reduction keeps them
+			}
+		}
+		if skip {
+			continue
+		}
+		exact := core.Discover(r, core.Options{Workers: 1, DisableColumnReduction: true})
+		apx := NewChecker(r).Discover(0, DiscoverOptions{})
+		if len(exact.OCDs) != len(apx.OCDs) {
+			t.Fatalf("trial %d: exact %d OCDs, approx(0) %d\nexact: %v\napprox: %v",
+				trial, len(exact.OCDs), len(apx.OCDs), exact.OCDs, apx.OCDs)
+		}
+		for i := range exact.OCDs {
+			if !exact.OCDs[i].X.Equal(apx.OCDs[i].X) || !exact.OCDs[i].Y.Equal(apx.OCDs[i].Y) {
+				t.Fatalf("trial %d: OCD sets differ at %d", trial, i)
+			}
+			if apx.OCDs[i].Error != 0 {
+				t.Fatalf("trial %d: ε=0 emission with positive error", trial)
+			}
+		}
+	}
+}
+
+// TestToleratesOutliers: one corrupted row hides an OCD from the exact
+// algorithm but not from the approximate one.
+func TestToleratesOutliers(t *testing.T) {
+	r := relation.FromInts("t", []string{"A", "B"}, [][]int{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5},
+		{6, 6}, {7, 7}, {8, 8}, {9, 0}, {10, 10}, // row 9 corrupts
+	})
+	exact := NewChecker(r).Discover(0, DiscoverOptions{})
+	if len(exact.OCDs) != 0 {
+		t.Fatalf("exact should find nothing: %v", exact.OCDs)
+	}
+	apx := NewChecker(r).Discover(0.1, DiscoverOptions{})
+	if len(apx.OCDs) != 1 {
+		t.Fatalf("approx(0.1) should find A ~ B: %v", apx.OCDs)
+	}
+	if e := apx.OCDs[0].Error; e != 0.1 {
+		t.Errorf("error = %v, want 0.1", e)
+	}
+}
+
+// TestEmissionsWithinEpsilon: every emitted AOCD's error is ≤ ε and matches
+// a recomputation.
+func TestEmissionsWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for trial := 0; trial < 15; trial++ {
+		rows := make([][]int, 5+rng.Intn(20))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		}
+		r := relation.FromInts("rand", nil, rows)
+		c := NewChecker(r)
+		eps := 0.15
+		res := c.Discover(eps, DiscoverOptions{})
+		for _, d := range res.OCDs {
+			if d.Error > eps {
+				t.Fatalf("trial %d: emission beyond ε: %+v", trial, d)
+			}
+			if got := c.OCDError(d.X, d.Y); got != d.Error {
+				t.Fatalf("trial %d: stored error %v != recomputed %v", trial, d.Error, got)
+			}
+		}
+	}
+}
+
+// TestMonotoneInEpsilon: larger ε can only find more (or equal) OCDs.
+func TestMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	rows := make([][]int, 30)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}
+	}
+	r := relation.FromInts("rand", nil, rows)
+	c := NewChecker(r)
+	prev := -1
+	for _, eps := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		n := len(c.Discover(eps, DiscoverOptions{}).OCDs)
+		if prev >= 0 && n < prev {
+			t.Fatalf("OCD count decreased as ε grew: %d -> %d at ε=%v", prev, n, eps)
+		}
+		prev = n
+	}
+}
+
+func TestDiscoverTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(257))
+	rows := make([][]int, 20)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(2), rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+	}
+	r := relation.FromInts("rand", nil, rows)
+	res := NewChecker(r).Discover(0.5, DiscoverOptions{MaxLevel: 2})
+	full := NewChecker(r).Discover(0.5, DiscoverOptions{})
+	if len(full.OCDs) > len(res.OCDs) && !res.Truncated {
+		t.Error("MaxLevel truncation not flagged")
+	}
+	for _, d := range res.OCDs {
+		if len(d.X)+len(d.Y) > 2 {
+			t.Error("emission beyond MaxLevel")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package attr
+
+// Pair is an ordered pair of attribute lists (X, Y): the two sides of an OD
+// candidate X → Y or an OCD candidate X ~ Y.
+type Pair struct {
+	X, Y List
+}
+
+// NewPair returns the pair (x, y).
+func NewPair(x, y List) Pair { return Pair{X: x, Y: y} }
+
+// Swapped returns the pair with its sides exchanged.
+func (p Pair) Swapped() Pair { return Pair{X: p.Y, Y: p.X} }
+
+// Key returns a canonical key distinguishing ordered pairs: (X,Y) and (Y,X)
+// get different keys. Use UnorderedKey for OCD candidates, which are
+// commutative (X ~ Y ⇔ Y ~ X).
+func (p Pair) Key() string {
+	return p.X.Key() + "|" + p.Y.Key()
+}
+
+// UnorderedKey returns a key under which (X,Y) and (Y,X) collide, matching
+// the commutativity of order compatibility.
+func (p Pair) UnorderedKey() string {
+	a, b := p.X.Key(), p.Y.Key()
+	if cmpListKey(p.X, p.Y) <= 0 {
+		return a + "|" + b
+	}
+	return b + "|" + a
+}
+
+func cmpListKey(x, y List) int { return x.Compare(y) }
+
+// Level returns |X| + |Y|, the level of the candidate in the search tree of
+// Section 4.2 (the initial candidates of single attributes sit at level 2).
+func (p Pair) Level() int { return len(p.X) + len(p.Y) }
+
+// Disjoint reports whether the two sides share no attribute.
+func (p Pair) Disjoint() bool { return p.X.Disjoint(p.Y) }
+
+// Format renders the pair as "X ~ Y" with the given separator.
+func (p Pair) Format(names func(ID) string, sep string) string {
+	return p.X.Format(names) + " " + sep + " " + p.Y.Format(names)
+}

@@ -1,0 +1,222 @@
+// Package axioms implements a bounded inference engine for the order-
+// dependency axiom system J_OD of Table 3 (Szlichta et al.). It derives the
+// closure of a base set of ODs over all attribute lists up to a length
+// bound, which is how the library checks minimality claims: a dependency is
+// redundant iff it lies in the closure of the others.
+//
+// The inference problem for ODs is co-NP-complete in general, so the engine
+// is deliberately bounded: it canonicalizes lists by Normalization (AX3,
+// duplicate attributes removed) and saturates the rule set
+//
+//	AX1 Reflexivity    ⊢ XY → X
+//	AX2 Prefix         X → Y ⊢ ZX → ZY
+//	AX4 Transitivity   X → Y, Y → Z ⊢ X → Z
+//	AX5 Suffix         X → Y ⊢ X ↔ XY  and  X → Y ⊢ X → YX
+//	T4.1 (derived)     XY → YX ⊢ YX → XY
+//
+// over that finite universe (T4.1 is the paper's Theorem 4.1, a valid
+// inference in every instance, admitted here as a derived rule). Everything
+// the engine derives is sound; within the bound it is complete enough to
+// reproduce the derivations used in the paper's proofs (e.g. Theorem 3.8's
+// XY → Y ⟺ X ~ Y).
+package axioms
+
+import (
+	"ocd/internal/attr"
+)
+
+// OD is an order dependency X → Y over normalized lists.
+type OD struct {
+	X, Y attr.List
+}
+
+// Engine holds a saturated closure over a bounded universe of lists.
+type Engine struct {
+	attrs   []attr.ID
+	maxLen  int
+	derived map[string]bool // "xkey|ykey" for X → Y (normalized)
+	lists   []attr.List
+}
+
+// New builds an engine over the given attributes with the given maximum
+// list length and saturates the closure of base. maxLen is clamped to
+// len(attrs) since normalized lists cannot repeat attributes.
+func New(attrs []attr.ID, maxLen int, base []OD) *Engine {
+	if maxLen > len(attrs) {
+		maxLen = len(attrs)
+	}
+	e := &Engine{
+		attrs:   attrs,
+		maxLen:  maxLen,
+		derived: make(map[string]bool),
+	}
+	e.lists = enumerateLists(attrs, maxLen)
+	for _, d := range base {
+		e.add(normalize(d.X), normalize(d.Y))
+	}
+	// AX1 Reflexivity: every list orders each of its prefixes.
+	for _, l := range e.lists {
+		for k := 0; k <= len(l); k++ {
+			e.add(l, l[:k])
+		}
+	}
+	e.saturate()
+	return e
+}
+
+// Entails reports whether X → Y is in the bounded closure. Lists are
+// normalized first; lists longer than the bound after normalization are
+// rejected (outside the universe).
+func (e *Engine) Entails(x, y attr.List) bool {
+	nx, ny := normalize(x), normalize(y)
+	if len(nx) > e.maxLen || len(ny) > e.maxLen {
+		return false
+	}
+	return e.derived[key(nx, ny)]
+}
+
+// EntailsEquivalence reports X ↔ Y within the closure.
+func (e *Engine) EntailsEquivalence(x, y attr.List) bool {
+	return e.Entails(x, y) && e.Entails(y, x)
+}
+
+// EntailsOCD reports X ~ Y within the closure, via the definition
+// X ~ Y ⇔ XY ↔ YX. The concatenations must fit the bound.
+func (e *Engine) EntailsOCD(x, y attr.List) bool {
+	return e.EntailsEquivalence(x.Concat(y), y.Concat(x))
+}
+
+// Size returns the number of derived ODs, a measure of closure growth used
+// by the minimality discussion of Section 3.1.
+func (e *Engine) Size() int { return len(e.derived) }
+
+func (e *Engine) add(x, y attr.List) bool {
+	if len(x) > e.maxLen || len(y) > e.maxLen {
+		return false
+	}
+	k := key(x, y)
+	if e.derived[k] {
+		return false
+	}
+	e.derived[k] = true
+	return true
+}
+
+// saturate applies AX2, AX4 and AX5 to a fixpoint.
+func (e *Engine) saturate() {
+	type od struct{ x, y attr.List }
+	for {
+		changed := false
+		// snapshot current facts
+		var facts []od
+		for k := range e.derived {
+			x, y := parseKey(k)
+			facts = append(facts, od{x, y})
+		}
+		index := make(map[string][]attr.List) // x.Key() → ys
+		for _, f := range facts {
+			index[f.x.Key()] = append(index[f.x.Key()], f.y)
+		}
+		for _, f := range facts {
+			// AX5 Suffix: X → Y ⊢ X ↔ XY (both directions; X·Y then
+			// normalized), and the variant X → Y ⊢ X → YX.
+			xy := normalize(f.x.Concat(f.y))
+			if e.add(f.x, xy) {
+				changed = true
+			}
+			if e.add(xy, f.x) {
+				changed = true
+			}
+			if e.add(f.x, normalize(f.y.Concat(f.x))) {
+				changed = true
+			}
+			// T4.1: if the fact has the shape UV → VU, the converse
+			// VU → UV is a valid inference (Theorem 4.1).
+			for k := 1; k < len(f.x); k++ {
+				u, v := f.x[:k], f.x[k:]
+				if f.y.Equal(v.Concat(u)) {
+					if e.add(f.y.Clone(), f.x.Clone()) {
+						changed = true
+					}
+				}
+			}
+			// AX4 Transitivity via the index on LHS = f.y.
+			for _, z := range index[f.y.Key()] {
+				if e.add(f.x, z) {
+					changed = true
+				}
+			}
+			// AX2 Prefix: Z ranges over all universe lists; ZX → ZY.
+			for _, z := range e.lists {
+				zx := normalize(z.Concat(f.x))
+				zy := normalize(z.Concat(f.y))
+				if len(zx) <= e.maxLen && len(zy) <= e.maxLen {
+					if e.add(zx, zy) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// normalize applies AX3 (Normalization): remove repeated attributes,
+// keeping first occurrences. Normalized forms are order equivalent to the
+// originals, so working only with them is lossless.
+func normalize(l attr.List) attr.List { return l.Dedup() }
+
+func key(x, y attr.List) string { return x.Key() + "|" + y.Key() }
+
+func parseKey(k string) (attr.List, attr.List) {
+	// keys are "a,b,c|d,e"; both sides may be empty
+	sep := -1
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			sep = i
+			break
+		}
+	}
+	return parseList(k[:sep]), parseList(k[sep+1:])
+}
+
+func parseList(s string) attr.List {
+	if s == "" {
+		return attr.List{}
+	}
+	var out attr.List
+	v := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, attr.ID(v))
+			v = 0
+			continue
+		}
+		v = v*10 + int(s[i]-'0')
+	}
+	return out
+}
+
+// enumerateLists returns every duplicate-free list over attrs with length
+// ≤ maxLen, including the empty list.
+func enumerateLists(attrs []attr.ID, maxLen int) []attr.List {
+	out := []attr.List{{}}
+	var rec func(cur attr.List)
+	rec = func(cur attr.List) {
+		if len(cur) == maxLen {
+			return
+		}
+		for _, a := range attrs {
+			if cur.Contains(a) {
+				continue
+			}
+			next := cur.Append(a)
+			out = append(out, next)
+			rec(next)
+		}
+	}
+	rec(attr.List{})
+	return out
+}

@@ -1,0 +1,294 @@
+// Package bidir extends order-dependency discovery to *bidirectional*
+// (also called "polarized") order dependencies, where each attribute in a
+// list carries its own sort direction — the generalization the paper's
+// related-work section attributes to Szlichta et al. [15] and lists as the
+// natural next step beyond unidirectional ODs.
+//
+// A directed list like [income ASC, age DESC] orders tuples by income
+// ascending, breaking ties by age descending — exactly SQL's
+// ORDER BY income ASC, age DESC. A bidirectional OD X → Y states that any
+// tuple order realizing the directed list X also realizes Y; bidirectional
+// order compatibility X ~ Y is, as in the unidirectional case, XY ↔ YX,
+// and Theorem 4.1 carries over verbatim: X ~ Y iff the single OD XY → YX
+// holds (its proof never uses directions).
+//
+// NULL handling follows the paper's SQL semantics with NULLS FIRST under
+// both directions: NULL compares equal to NULL and precedes every value
+// regardless of polarity.
+//
+// Discovery (DiscoverOCDs) runs the same candidate tree as OCDDISCOVER over
+// directed singletons; because flipping *every* direction in a dependency
+// preserves validity (a global reversal of the tuple order), candidates are
+// canonicalized to have their first attribute ascending, halving the space.
+package bidir
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// Direction is a per-attribute sort polarity.
+type Direction int8
+
+const (
+	// Asc sorts ascending (SQL ASC), the unidirectional default.
+	Asc Direction = 1
+	// Desc sorts descending (SQL DESC).
+	Desc Direction = -1
+)
+
+// String returns "ASC" or "DESC".
+func (d Direction) String() string {
+	if d == Desc {
+		return "DESC"
+	}
+	return "ASC"
+}
+
+// DAttr is an attribute with a direction.
+type DAttr struct {
+	ID  attr.ID
+	Dir Direction
+}
+
+// DList is a directed attribute list, one side of a bidirectional OD.
+type DList []DAttr
+
+// NewAsc lifts a plain attribute list to an all-ascending directed list,
+// embedding the unidirectional case.
+func NewAsc(l attr.List) DList {
+	out := make(DList, len(l))
+	for i, a := range l {
+		out[i] = DAttr{ID: a, Dir: Asc}
+	}
+	return out
+}
+
+// Append returns the list extended by one directed attribute.
+func (l DList) Append(a DAttr) DList {
+	out := make(DList, 0, len(l)+1)
+	out = append(out, l...)
+	out = append(out, a)
+	return out
+}
+
+// Concat returns l ∘ m.
+func (l DList) Concat(m DList) DList {
+	out := make(DList, 0, len(l)+len(m))
+	out = append(out, l...)
+	out = append(out, m...)
+	return out
+}
+
+// Contains reports whether the attribute occurs (any direction).
+func (l DList) Contains(a attr.ID) bool {
+	for _, x := range l {
+		if x.ID == a {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the underlying attribute list without directions.
+func (l DList) IDs() attr.List {
+	out := make(attr.List, len(l))
+	for i, x := range l {
+		out[i] = x.ID
+	}
+	return out
+}
+
+// Flip returns the list with every direction reversed.
+func (l DList) Flip() DList {
+	out := make(DList, len(l))
+	for i, x := range l {
+		out[i] = DAttr{ID: x.ID, Dir: -x.Dir}
+	}
+	return out
+}
+
+// Equal reports element-wise equality including directions.
+func (l DList) Equal(m DList) bool {
+	if len(l) != len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical map key.
+func (l DList) Key() string {
+	var b strings.Builder
+	for i, x := range l {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if x.Dir == Desc {
+			b.WriteByte('-')
+		}
+		writeInt(&b, int(x.ID))
+	}
+	return b.String()
+}
+
+// Format renders the list as "[a ASC,b DESC]".
+func (l DList) Format(names func(attr.ID) string) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range l {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if names != nil {
+			b.WriteString(names(x.ID))
+		} else {
+			b.WriteByte('c')
+			writeInt(&b, int(x.ID))
+		}
+		if x.Dir == Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	b.Write(buf[i:])
+}
+
+// compareCodes compares two rank codes under a direction with NULLS FIRST
+// on both polarities: NULL (code 0) precedes everything either way.
+func compareCodes(a, b int32, dir Direction) int {
+	if a == b {
+		return 0
+	}
+	// NULLS FIRST regardless of direction.
+	if a == relation.NullCode {
+		return -1
+	}
+	if b == relation.NullCode {
+		return 1
+	}
+	if dir == Asc {
+		if a < b {
+			return -1
+		}
+		return 1
+	}
+	if a > b {
+		return -1
+	}
+	return 1
+}
+
+// CompareRows compares two rows under the directed list.
+func CompareRows(r *relation.Relation, p, q int, l DList) int {
+	for _, x := range l {
+		if c := compareCodes(r.Code(p, x.ID), r.Code(q, x.ID), x.Dir); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Checker performs bidirectional order checks with a sorted-index cache,
+// mirroring order.Checker for directed lists.
+type Checker struct {
+	r     *relation.Relation
+	mu    sync.Mutex
+	cache map[string][]int32
+	fifo  []string
+	cap   int
+}
+
+// NewChecker returns a checker with the given index-cache capacity.
+func NewChecker(r *relation.Relation, cacheCap int) *Checker {
+	return &Checker{r: r, cache: make(map[string][]int32), cap: cacheCap}
+}
+
+// SortedIndex returns row positions sorted by the directed list.
+func (c *Checker) SortedIndex(l DList) []int32 {
+	key := l.Key()
+	if c.cap > 0 {
+		c.mu.Lock()
+		if idx, ok := c.cache[key]; ok {
+			c.mu.Unlock()
+			return idx
+		}
+		c.mu.Unlock()
+	}
+	idx := make([]int32, c.r.NumRows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	r := c.r
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := int(idx[a]), int(idx[b])
+		if cmp := CompareRows(r, ia, ib, l); cmp != 0 {
+			return cmp < 0
+		}
+		return ia < ib
+	})
+	if c.cap > 0 {
+		c.mu.Lock()
+		if _, ok := c.cache[key]; !ok {
+			if len(c.fifo) >= c.cap {
+				delete(c.cache, c.fifo[0])
+				c.fifo = c.fifo[1:]
+			}
+			c.cache[key] = idx
+			c.fifo = append(c.fifo, key)
+		}
+		c.mu.Unlock()
+	}
+	return idx
+}
+
+// CheckOD reports whether the bidirectional OD X → Y holds.
+func (c *Checker) CheckOD(x, y DList) bool {
+	idx := c.SortedIndex(x.Concat(y))
+	r := c.r
+	for i := 0; i+1 < len(idx); i++ {
+		p, q := int(idx[i]), int(idx[i+1])
+		cx := CompareRows(r, p, q, x)
+		cy := CompareRows(r, p, q, y)
+		if cx == 0 {
+			if cy != 0 {
+				return false // split
+			}
+		} else if cy > 0 {
+			return false // swap
+		}
+	}
+	return true
+}
+
+// CheckOCD reports whether X ~ Y holds, via the single check XY → YX
+// (Theorem 4.1, direction-agnostic).
+func (c *Checker) CheckOCD(x, y DList) bool {
+	return c.CheckOD(x.Concat(y), y.Concat(x))
+}

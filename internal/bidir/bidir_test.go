@@ -1,0 +1,302 @@
+package bidir
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/core"
+	"ocd/internal/relation"
+)
+
+func rel(rows [][]int) *relation.Relation {
+	names := make([]string, len(rows[0]))
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return relation.FromInts("t", names, rows)
+}
+
+func asc(a int) DAttr  { return DAttr{ID: attr.ID(a), Dir: Asc} }
+func desc(a int) DAttr { return DAttr{ID: attr.ID(a), Dir: Desc} }
+
+func TestCompareRowsDirections(t *testing.T) {
+	r := rel([][]int{{1, 9}, {2, 5}})
+	// ascending on A: row0 < row1; descending on B: row0 (9) < row1 (5).
+	if CompareRows(r, 0, 1, DList{asc(0)}) != -1 {
+		t.Error("A ASC compare wrong")
+	}
+	if CompareRows(r, 0, 1, DList{desc(1)}) != -1 {
+		t.Error("B DESC compare wrong: 9 precedes 5 under DESC")
+	}
+	if CompareRows(r, 0, 1, DList{asc(1)}) != 1 {
+		t.Error("B ASC compare wrong")
+	}
+}
+
+func TestNullsFirstBothDirections(t *testing.T) {
+	r, err := relation.FromStrings("t", []string{"A"}, [][]string{{""}, {"5"}}, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CompareRows(r, 0, 1, DList{asc(0)}) != -1 {
+		t.Error("NULL must precede values under ASC")
+	}
+	if CompareRows(r, 0, 1, DList{desc(0)}) != -1 {
+		t.Error("NULL must precede values under DESC (NULLS FIRST)")
+	}
+}
+
+func TestReversedColumnsOD(t *testing.T) {
+	// B = -A: the bidirectional OD [A ASC] → [B DESC] holds; the
+	// unidirectional A → B does not.
+	r := rel([][]int{{1, -1}, {2, -2}, {3, -3}})
+	chk := NewChecker(r, 8)
+	if !chk.CheckOD(DList{asc(0)}, DList{desc(1)}) {
+		t.Error("A ASC → B DESC should hold for B = -A")
+	}
+	if chk.CheckOD(DList{asc(0)}, DList{asc(1)}) {
+		t.Error("A ASC → B ASC must fail for B = -A")
+	}
+	if !chk.CheckOCD(DList{asc(0)}, DList{desc(1)}) {
+		t.Error("A ASC ~ B DESC should hold")
+	}
+}
+
+func TestFlipInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 100; trial++ {
+		rows := make([][]int, 2+rng.Intn(15))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		}
+		r := rel(rows)
+		chk := NewChecker(r, 8)
+		x := DList{DAttr{0, dirOf(rng)}, DAttr{1, dirOf(rng)}}
+		y := DList{DAttr{2, dirOf(rng)}}
+		if chk.CheckOD(x, y) != chk.CheckOD(x.Flip(), y.Flip()) {
+			t.Fatalf("trial %d: OD not invariant under global flip", trial)
+		}
+		if chk.CheckOCD(x, y) != chk.CheckOCD(x.Flip(), y.Flip()) {
+			t.Fatalf("trial %d: OCD not invariant under global flip", trial)
+		}
+	}
+}
+
+func dirOf(rng *rand.Rand) Direction {
+	if rng.Intn(2) == 0 {
+		return Asc
+	}
+	return Desc
+}
+
+// bruteOD is the O(m²) reference under directed comparison.
+func bruteOD(r *relation.Relation, x, y DList) bool {
+	for p := 0; p < r.NumRows(); p++ {
+		for q := 0; q < r.NumRows(); q++ {
+			if CompareRows(r, p, q, x) <= 0 && CompareRows(r, p, q, y) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 200; trial++ {
+		rows := make([][]int, 2+rng.Intn(12))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		}
+		r := rel(rows)
+		chk := NewChecker(r, 8)
+		mk := func() DList {
+			n := 1 + rng.Intn(2)
+			perm := rng.Perm(3)
+			l := make(DList, n)
+			for i := 0; i < n; i++ {
+				l[i] = DAttr{ID: attr.ID(perm[i]), Dir: dirOf(rng)}
+			}
+			return l
+		}
+		x, y := mk(), mk()
+		if got, want := chk.CheckOD(x, y), bruteOD(r, x, y); got != want {
+			t.Fatalf("trial %d: CheckOD(%v,%v) = %v, brute %v on %v", trial, x, y, got, want, rows)
+		}
+	}
+}
+
+func TestDiscoverReversedEquivalence(t *testing.T) {
+	// B = -A is a directed order equivalence: discovery should collapse it
+	// into one class with opposite polarity, and the unidirectional core
+	// must find nothing at all.
+	r := rel([][]int{{1, -1, 5}, {2, -2, 9}, {3, -3, 2}})
+	res := DiscoverOCDs(r, Options{Workers: 1})
+	if len(res.EquivClasses) != 1 {
+		t.Fatalf("EquivClasses = %v", res.EquivClasses)
+	}
+	class := res.EquivClasses[0]
+	if class[0].ID != 0 || class[0].Dir != Asc {
+		t.Errorf("representative should be A ASC: %v", class)
+	}
+	if class[1].ID != 1 || class[1].Dir != Desc {
+		t.Errorf("B should join with DESC polarity: %v", class)
+	}
+	uni := core.Discover(r, core.Options{Workers: 1})
+	if len(uni.EquivClasses) != 0 {
+		t.Error("unidirectional discovery must not see the reversed equivalence")
+	}
+}
+
+func TestDiscoverFindsDescOCD(t *testing.T) {
+	// A and B are order compatible only when B is read descending:
+	// as A increases, B never increases (with ties breaking strictness).
+	r := rel([][]int{{1, 9}, {1, 8}, {2, 7}, {3, 7}, {4, 1}})
+	res := DiscoverOCDs(r, Options{Workers: 1})
+	found := false
+	for _, d := range res.OCDs {
+		if d.X.Equal(DList{asc(0)}) && d.Y.Equal(DList{desc(1)}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing [A] ~ [B DESC]: %v", res.OCDs)
+	}
+	// ascending variant must be absent
+	for _, d := range res.OCDs {
+		if d.X.Equal(DList{asc(0)}) && d.Y.Equal(DList{asc(1)}) {
+			t.Error("spurious [A] ~ [B ASC]")
+		}
+	}
+}
+
+// TestSupersetOfUnidirectional: on data without reversed equivalences,
+// every unidirectional OCD appears among the bidirectional all-ascending
+// emissions.
+func TestSupersetOfUnidirectional(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 20; trial++ {
+		rows := make([][]int, 3+rng.Intn(15))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		}
+		r := rel(rows)
+		uni := core.Discover(r, core.Options{Workers: 1})
+		bi := DiscoverOCDs(r, Options{Workers: 1})
+		if len(uni.EquivClasses) != len(bi.EquivClasses) {
+			continue // reduction differs; skip this sample
+		}
+		biKeys := map[string]bool{}
+		for _, d := range bi.OCDs {
+			biKeys[canonicalKey(d.X, d.Y)] = true
+		}
+		for _, d := range uni.OCDs {
+			k := canonicalKey(NewAsc(d.X), NewAsc(d.Y))
+			if !biKeys[k] {
+				t.Fatalf("trial %d: unidirectional OCD %v~%v missing from bidirectional output", trial, d.X, d.Y)
+			}
+		}
+	}
+}
+
+func TestSoundnessOfEmissions(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	for trial := 0; trial < 20; trial++ {
+		rows := make([][]int, 3+rng.Intn(12))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		}
+		r := rel(rows)
+		res := DiscoverOCDs(r, Options{Workers: 2})
+		chk := NewChecker(r, 8)
+		for _, d := range res.OCDs {
+			if !chk.CheckOCD(d.X, d.Y) {
+				t.Fatalf("trial %d: emitted OCD %v~%v invalid", trial, d.X, d.Y)
+			}
+		}
+		for _, d := range res.ODs {
+			if !chk.CheckOD(d.X, d.Y) {
+				t.Fatalf("trial %d: emitted OD %v→%v invalid", trial, d.X, d.Y)
+			}
+		}
+		for _, class := range res.EquivClasses {
+			rep := DList{{ID: class[0].ID, Dir: class[0].Dir}}
+			for _, m := range class[1:] {
+				other := DList{{ID: m.ID, Dir: m.Dir}}
+				if !chk.CheckOD(rep, other) || !chk.CheckOD(other, rep) {
+					t.Fatalf("trial %d: class member %v not equivalent to rep", trial, m)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 10; trial++ {
+		rows := make([][]int, 3+rng.Intn(12))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		}
+		r := rel(rows)
+		a := DiscoverOCDs(r, Options{Workers: 1})
+		b := DiscoverOCDs(r, Options{Workers: 4})
+		if len(a.OCDs) != len(b.OCDs) || len(a.ODs) != len(b.ODs) {
+			t.Fatalf("trial %d: parallel output differs: %d/%d vs %d/%d",
+				trial, len(a.OCDs), len(a.ODs), len(b.OCDs), len(b.ODs))
+		}
+		for i := range a.OCDs {
+			if !a.OCDs[i].X.Equal(b.OCDs[i].X) || !a.OCDs[i].Y.Equal(b.OCDs[i].Y) {
+				t.Fatalf("trial %d: OCD order differs", trial)
+			}
+		}
+	}
+}
+
+func TestFormatAndKeys(t *testing.T) {
+	l := DList{asc(0), desc(1)}
+	names := func(a attr.ID) string { return string(rune('A' + int(a))) }
+	if got := l.Format(names); got != "[A,B DESC]" {
+		t.Errorf("Format = %q", got)
+	}
+	if l.Key() == l.Flip().Key() {
+		t.Error("flip must change the key")
+	}
+	if canonicalKey(l, DList{asc(2)}) != canonicalKey(l.Flip(), DList{desc(2)}) {
+		t.Error("canonicalKey must collapse global flips")
+	}
+	if canonicalKey(l, DList{asc(2)}) != canonicalKey(DList{asc(2)}, l) {
+		t.Error("canonicalKey must collapse side swaps")
+	}
+	if !l.IDs().Equal(attr.NewList(0, 1)) {
+		t.Error("IDs projection wrong")
+	}
+	if NewAsc(attr.NewList(0, 1))[1].Dir != Asc {
+		t.Error("NewAsc must set Asc")
+	}
+}
+
+func TestConstantsRemoved(t *testing.T) {
+	r := rel([][]int{{1, 7}, {2, 7}})
+	res := DiscoverOCDs(r, Options{Workers: 1})
+	if len(res.Constants) != 1 || res.Constants[0] != 1 {
+		t.Errorf("Constants = %v", res.Constants)
+	}
+	if len(res.OCDs) != 0 {
+		t.Errorf("single varying column cannot form OCDs: %v", res.OCDs)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	rows := make([][]int, 40)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(2), rng.Intn(2), rng.Intn(2), rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+	}
+	r := rel(rows)
+	res := DiscoverOCDs(r, Options{Workers: 1, MaxCandidates: 10})
+	if !res.Truncated {
+		t.Error("MaxCandidates should truncate")
+	}
+}

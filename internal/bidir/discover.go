@@ -1,0 +1,311 @@
+package bidir
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// OCD is a bidirectional order compatibility dependency X ~ Y.
+type OCD struct {
+	X, Y DList
+}
+
+// OD is a bidirectional order dependency X → Y.
+type OD struct {
+	X, Y DList
+}
+
+// EquivMember is one member of a directed order-equivalence class: the
+// attribute together with its polarity relative to the class representative
+// (Asc = same ordering as the representative, Desc = reversed).
+type EquivMember struct {
+	ID  attr.ID
+	Dir Direction
+}
+
+// Options configure bidirectional discovery.
+type Options struct {
+	// Workers is the number of parallel goroutines (<1 = GOMAXPROCS).
+	Workers int
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxCandidates bounds the number of generated candidates (0 = none).
+	MaxCandidates int64
+}
+
+// Result of a bidirectional discovery run.
+type Result struct {
+	OCDs []OCD
+	ODs  []OD
+	// Constants are removed constant columns.
+	Constants []attr.ID
+	// EquivClasses are directed order-equivalence classes of size ≥ 2;
+	// the first member is the representative (always Asc).
+	EquivClasses [][]EquivMember
+	Checks       int64
+	Candidates   int64
+	Elapsed      time.Duration
+	Truncated    bool
+}
+
+// DiscoverOCDs runs the bidirectional variant of OCDDISCOVER. The candidate
+// tree is the same as the unidirectional one except that every attribute
+// joins a side with either polarity; candidates are canonicalized under the
+// global-flip symmetry (X ~ Y ⇔ flip(X) ~ flip(Y)).
+func DiscoverOCDs(r *relation.Relation, opts Options) *Result {
+	start := time.Now()
+	res := &Result{}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	chk := NewChecker(r, 64)
+	var checks atomic.Int64
+	var generated atomic.Int64
+
+	// ---- reduction: constants, then directed equivalence classes ----
+	var varying []attr.ID
+	for _, a := range r.Attrs() {
+		if r.IsConstant(a) {
+			res.Constants = append(res.Constants, a)
+		} else {
+			varying = append(varying, a)
+		}
+	}
+	reduced, classes := reduceDirected(chk, varying, &checks)
+	res.EquivClasses = classes
+
+	// ---- initial candidates: (A asc, B asc) and (A asc, B desc) ----
+	type pair struct{ x, y DList }
+	var level []pair
+	for i := 0; i < len(reduced); i++ {
+		for j := i + 1; j < len(reduced); j++ {
+			a := DAttr{ID: reduced[i], Dir: Asc}
+			level = append(level,
+				pair{DList{a}, DList{{ID: reduced[j], Dir: Asc}}},
+				pair{DList{a}, DList{{ID: reduced[j], Dir: Desc}}})
+		}
+	}
+	res.Candidates = int64(len(level))
+	generated.Store(int64(len(level)))
+	overBudget := func() bool {
+		return opts.MaxCandidates > 0 && generated.Load() > opts.MaxCandidates
+	}
+
+	type out struct {
+		ocds []OCD
+		ods  []OD
+		next []pair
+	}
+
+	for len(level) > 0 {
+		if expired() || overBudget() {
+			res.Truncated = true
+			break
+		}
+		outs := make([]out, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				o := &outs[w]
+				for i := w; i < len(level); i += workers {
+					if expired() || overBudget() {
+						return
+					}
+					p := level[i]
+					checks.Add(1)
+					if !chk.CheckOCD(p.x, p.y) {
+						continue
+					}
+					o.ocds = append(o.ocds, OCD{X: p.x, Y: p.y})
+					var free []attr.ID
+					for _, a := range reduced {
+						if !p.x.Contains(a) && !p.y.Contains(a) {
+							free = append(free, a)
+						}
+					}
+					checks.Add(2)
+					before := len(o.next)
+					if chk.CheckOD(p.x, p.y) {
+						o.ods = append(o.ods, OD{X: p.x, Y: p.y})
+					} else {
+						for _, a := range free {
+							o.next = append(o.next,
+								pair{p.x.Append(DAttr{a, Asc}), p.y},
+								pair{p.x.Append(DAttr{a, Desc}), p.y})
+						}
+					}
+					if chk.CheckOD(p.y, p.x) {
+						o.ods = append(o.ods, OD{X: p.y, Y: p.x})
+					} else {
+						for _, a := range free {
+							o.next = append(o.next,
+								pair{p.x, p.y.Append(DAttr{a, Asc})},
+								pair{p.x, p.y.Append(DAttr{a, Desc})})
+						}
+					}
+					generated.Add(int64(len(o.next) - before))
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		seen := make(map[string]struct{})
+		var next []pair
+		for i := range outs {
+			res.OCDs = append(res.OCDs, outs[i].ocds...)
+			res.ODs = append(res.ODs, outs[i].ods...)
+			for _, p := range outs[i].next {
+				k := canonicalKey(p.x, p.y)
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					next = append(next, p)
+				}
+			}
+		}
+		res.Candidates += int64(len(next))
+		level = next
+	}
+
+	res.Checks = checks.Load()
+	res.Elapsed = time.Since(start)
+	sortResult(res)
+	return res
+}
+
+// canonicalKey collapses the four symmetric variants of a candidate —
+// (X,Y), (Y,X), (flip X, flip Y), (flip Y, flip X) — to one key.
+func canonicalKey(x, y DList) string {
+	keys := []string{
+		x.Key() + "|" + y.Key(),
+		y.Key() + "|" + x.Key(),
+		x.Flip().Key() + "|" + y.Flip().Key(),
+		y.Flip().Key() + "|" + x.Flip().Key(),
+	}
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// reduceDirected collapses directed order-equivalent columns using a
+// union-find with polarity: A joins B's class with parity Desc when
+// [A ASC] ↔ [B DESC].
+func reduceDirected(chk *Checker, varying []attr.ID, checks *atomic.Int64) ([]attr.ID, [][]EquivMember) {
+	n := len(varying)
+	parent := make([]int, n)
+	parity := make([]Direction, n)
+	for i := range parent {
+		parent[i] = i
+		parity[i] = Asc
+	}
+	var find func(i int) (int, Direction)
+	find = func(i int) (int, Direction) {
+		if parent[i] == i {
+			return i, Asc
+		}
+		root, p := find(parent[i])
+		parent[i] = root
+		parity[i] = parity[i] * p
+		return root, parity[i]
+	}
+	union := func(i, j int, rel Direction) {
+		ri, pi := find(i)
+		rj, pj := find(j)
+		if ri == rj {
+			return
+		}
+		// attr_i ~ rel * attr_j; roots relate by pi ... rel ... pj
+		parent[rj] = ri
+		parity[rj] = pi * rel * pj
+	}
+	equivalent := func(a, b attr.ID, dir Direction) bool {
+		checks.Add(2)
+		x := DList{{ID: a, Dir: Asc}}
+		y := DList{{ID: b, Dir: dir}}
+		return chk.CheckOD(x, y) && chk.CheckOD(y, x)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ri, _ := find(i); true {
+				if rj, _ := find(j); ri == rj {
+					continue
+				}
+			}
+			if equivalent(varying[i], varying[j], Asc) {
+				union(i, j, Asc)
+			} else if equivalent(varying[i], varying[j], Desc) {
+				union(i, j, Desc)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		root, _ := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	var reduced []attr.ID
+	var classes [][]EquivMember
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		members := groups[root]
+		sort.Ints(members)
+		rep := members[0]
+		reduced = append(reduced, varying[rep])
+		if len(members) > 1 {
+			_, repParity := find(rep)
+			class := make([]EquivMember, len(members))
+			for k, m := range members {
+				_, p := find(m)
+				class[k] = EquivMember{ID: varying[m], Dir: p * repParity}
+			}
+			classes = append(classes, class)
+		}
+	}
+	sort.Slice(reduced, func(i, j int) bool { return reduced[i] < reduced[j] })
+	return reduced, classes
+}
+
+func sortResult(res *Result) {
+	sort.Slice(res.OCDs, func(i, j int) bool {
+		if a, b := res.OCDs[i].X.Key(), res.OCDs[j].X.Key(); a != b {
+			return keyLess(res.OCDs[i].X, res.OCDs[j].X)
+		}
+		return keyLess(res.OCDs[i].Y, res.OCDs[j].Y)
+	})
+	sort.Slice(res.ODs, func(i, j int) bool {
+		if a, b := res.ODs[i].X.Key(), res.ODs[j].X.Key(); a != b {
+			return keyLess(res.ODs[i].X, res.ODs[j].X)
+		}
+		return keyLess(res.ODs[i].Y, res.ODs[j].Y)
+	})
+}
+
+// keyLess orders directed lists by length, then key.
+func keyLess(a, b DList) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a.Key() < b.Key()
+}

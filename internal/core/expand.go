@@ -1,0 +1,158 @@
+package core
+
+import (
+	"ocd/internal/attr"
+)
+
+// Expansion turns a reduced discovery result back into the flat set of order
+// dependencies that algorithms without column reduction report, following
+// Section 5.2: every OCD X ~ Y contributes the pair of ODs XY → YX and
+// YX → XY; every order-equivalence class contributes the ODs between its
+// members and, by the Replace theorem, substitutes every class member for
+// the representative inside the other dependencies; every constant column C
+// contributes [] → [C] (C is ordered by every attribute list).
+
+// ExpandedODs materializes the expanded OD set, capped at limit entries
+// (limit <= 0 means no cap). The paper performs this expansion only to
+// compare against ORDER and FASTOD output.
+func (r *Result) ExpandedODs(limit int) []OD {
+	var out []OD
+	add := func(d OD) bool {
+		if limit > 0 && len(out) >= limit {
+			return false
+		}
+		out = append(out, d)
+		return true
+	}
+
+	classOf := r.classMap()
+
+	// Base dependencies: traversal ODs plus the OD pair of every OCD.
+	base := make([]OD, 0, len(r.ODs)+2*len(r.OCDs))
+	base = append(base, r.ODs...)
+	for _, c := range r.OCDs {
+		base = append(base, OD{X: c.X.Concat(c.Y), Y: c.Y.Concat(c.X)})
+		base = append(base, OD{X: c.Y.Concat(c.X), Y: c.X.Concat(c.Y)})
+	}
+
+	// Substitute class members for representatives (Replace theorem).
+	for _, d := range base {
+		if !expandDep(d, classOf, add) {
+			return out
+		}
+	}
+
+	// Equivalence classes: both directions between every member pair.
+	for _, class := range r.EquivClasses {
+		for i := 0; i < len(class); i++ {
+			for j := 0; j < len(class); j++ {
+				if i == j {
+					continue
+				}
+				if !add(OD{X: attr.Singleton(class[i]), Y: attr.Singleton(class[j])}) {
+					return out
+				}
+			}
+		}
+	}
+
+	// Constant columns: [] → [C].
+	for _, c := range r.Constants {
+		if !add(OD{X: attr.List{}, Y: attr.Singleton(c)}) {
+			return out
+		}
+	}
+	return out
+}
+
+// CountExpandedODs counts the expanded OD set without materializing it —
+// the |Od| statistic reported for OCDDISCOVER in Table 6.
+func (r *Result) CountExpandedODs() int64 {
+	classOf := r.classMap()
+	var n int64
+	count := func(d OD) {
+		prod := int64(1)
+		for _, a := range d.X {
+			prod *= int64(classSize(classOf, a))
+		}
+		for _, a := range d.Y {
+			prod *= int64(classSize(classOf, a))
+		}
+		n += prod
+	}
+	for _, d := range r.ODs {
+		count(d)
+	}
+	for _, c := range r.OCDs {
+		count(OD{X: c.X.Concat(c.Y), Y: c.Y.Concat(c.X)})
+		count(OD{X: c.Y.Concat(c.X), Y: c.X.Concat(c.Y)})
+	}
+	for _, class := range r.EquivClasses {
+		k := int64(len(class))
+		n += k * (k - 1) // both directions of every pair
+	}
+	n += int64(len(r.Constants))
+	return n
+}
+
+func (r *Result) classMap() map[attr.ID][]attr.ID {
+	m := make(map[attr.ID][]attr.ID)
+	for _, class := range r.EquivClasses {
+		m[class[0]] = class // keyed by representative
+	}
+	return m
+}
+
+func classSize(classOf map[attr.ID][]attr.ID, a attr.ID) int {
+	if class, ok := classOf[a]; ok {
+		return len(class)
+	}
+	return 1
+}
+
+// expandDep enumerates all substitutions of equivalent columns into d,
+// calling add for each; it stops early when add returns false.
+func expandDep(d OD, classOf map[attr.ID][]attr.ID, add func(OD) bool) bool {
+	// Collect the choice list per position across X then Y.
+	positions := len(d.X) + len(d.Y)
+	choices := make([][]attr.ID, positions)
+	for i, a := range d.X {
+		choices[i] = choicesFor(classOf, a)
+	}
+	for i, a := range d.Y {
+		choices[len(d.X)+i] = choicesFor(classOf, a)
+	}
+	pick := make([]int, positions)
+	for {
+		x := make(attr.List, len(d.X))
+		for i := range d.X {
+			x[i] = choices[i][pick[i]]
+		}
+		y := make(attr.List, len(d.Y))
+		for i := range d.Y {
+			y[i] = choices[len(d.X)+i][pick[len(d.X)+i]]
+		}
+		if !add(OD{X: x, Y: y}) {
+			return false
+		}
+		// odometer increment
+		i := 0
+		for ; i < positions; i++ {
+			pick[i]++
+			if pick[i] < len(choices[i]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i == positions {
+			return true
+		}
+	}
+}
+
+func choicesFor(classOf map[attr.ID][]attr.ID, a attr.ID) []attr.ID {
+	if class, ok := classOf[a]; ok {
+		return class
+	}
+	return []attr.ID{a}
+}

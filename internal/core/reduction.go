@@ -1,0 +1,93 @@
+package core
+
+import (
+	"ocd/internal/attr"
+	"ocd/internal/tarjan"
+)
+
+// reduction is the outcome of the column-reduction phase (Section 4.1).
+type reduction struct {
+	// reduced is the working attribute set U': one representative per
+	// order-equivalence class, constants removed, ascending order.
+	reduced []attr.ID
+	// constants are the removed constant columns.
+	constants []attr.ID
+	// classes are the order-equivalence classes of size ≥ 2; the first
+	// element is the representative (the smallest attribute id).
+	classes [][]attr.ID
+	// classOf maps every non-constant attribute to its class slice (also
+	// for singleton classes, which are not listed in classes).
+	classOf map[attr.ID][]attr.ID
+}
+
+// columnsReduction implements the columnsReduction() function of Algorithm 1:
+// (a) remove constant columns; (b) collapse order-equivalent columns into a
+// representative, using Tarjan's algorithm on the directed graph of valid
+// single-attribute ODs.
+func columnsReduction(chk checker, universe []attr.ID) *reduction {
+	red := &reduction{classOf: make(map[attr.ID][]attr.ID)}
+	r := chk.Relation()
+
+	var varying []attr.ID
+	for _, a := range universe {
+		if r.IsConstant(a) {
+			red.constants = append(red.constants, a)
+		} else {
+			varying = append(varying, a)
+		}
+	}
+
+	// Directed graph over the varying columns: edge i → j iff the OD
+	// [A_i] → [A_j] holds. Order-equivalence classes are its SCCs.
+	n := len(varying)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if chk.CheckOD(attr.Singleton(varying[i]), attr.Singleton(varying[j])) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	comps := tarjan.SCC(n, adj)
+
+	for _, comp := range comps {
+		class := make([]attr.ID, len(comp))
+		for k, v := range comp {
+			class[k] = varying[v]
+		}
+		sortIDs(class) // representative = smallest attribute id
+		for _, a := range class {
+			red.classOf[a] = class
+		}
+		red.reduced = append(red.reduced, class[0])
+		if len(class) > 1 {
+			red.classes = append(red.classes, class)
+		}
+	}
+	sortIDs(red.reduced)
+	sortClasses(red.classes)
+	return red
+}
+
+func sortIDs(ids []attr.ID) {
+	for i := 1; i < len(ids); i++ {
+		j := i
+		for j > 0 && ids[j-1] > ids[j] {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+			j--
+		}
+	}
+}
+
+func sortClasses(cs [][]attr.ID) {
+	for i := 1; i < len(cs); i++ {
+		j := i
+		for j > 0 && cs[j-1][0] > cs[j][0] {
+			cs[j-1], cs[j] = cs[j], cs[j-1]
+			j--
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package core implements OCDDISCOVER (Algorithm 1 of the paper): complete
+// discovery of order dependencies over a relation instance, guided by the
+// search for order compatibility dependencies.
+//
+// The search runs breadth-first over the candidate tree of Section 4.2. A
+// node is a pair of disjoint attribute lists (X, Y); the node is *valid* when
+// the OCD X ~ Y holds, which by Theorem 4.1 needs the single order check
+// XY → YX. Valid nodes are emitted and extended: attribute A ∉ X ∪ Y joins
+// the left side only if the OD X → Y fails, and the right side only if
+// Y → X fails (Algorithm 3's pruning) — when the OD holds, the extended OCDs
+// are derivable and therefore redundant. Invalid nodes are leaves, justified
+// by the downward-closure pruning rule (Theorem 3.7).
+//
+// Before the traversal, a column-reduction phase (Section 4.1) removes
+// constant columns (ordered by everything) and collapses order-equivalent
+// columns into representatives via Tarjan's SCC algorithm on the graph of
+// single-attribute ODs.
+//
+// Each level of the tree is processed by a pool of goroutines, mirroring the
+// paper's multi-threaded traversal (Section 4.2.2).
+package core
+
+import (
+	"time"
+
+	"ocd/internal/attr"
+)
+
+// OCD is an order compatibility dependency X ~ Y: sorting by XY also sorts
+// by YX and vice versa (Definition 2.4).
+type OCD struct {
+	X, Y attr.List
+}
+
+// Format renders the OCD with the given attribute naming function.
+func (d OCD) Format(names func(attr.ID) string) string {
+	return d.X.Format(names) + " ~ " + d.Y.Format(names)
+}
+
+// OD is an order dependency X → Y: any ordering by X is also an ordering by
+// Y (Definition 2.2).
+type OD struct {
+	X, Y attr.List
+}
+
+// Format renders the OD with the given attribute naming function.
+func (d OD) Format(names func(attr.ID) string) string {
+	return d.X.Format(names) + " -> " + d.Y.Format(names)
+}
+
+// Options configure a discovery run.
+type Options struct {
+	// Workers is the number of parallel goroutines traversing the
+	// candidate tree; values < 1 select runtime.GOMAXPROCS(0). This is the
+	// run-time thread parameter of Section 4.2.2.
+	Workers int
+	// IndexCacheSize bounds the sorted-index cache of the order checker;
+	// 0 selects the default (64 indexes).
+	IndexCacheSize int
+	// Timeout bounds wall-clock time; when exceeded the run stops at a
+	// level boundary and returns partial results with Truncated set,
+	// matching the paper's 5-hour-threshold reporting. Zero means no limit.
+	Timeout time.Duration
+	// MaxCandidates aborts (Truncated) once more than this many candidates
+	// have been generated; zero means no limit. A safety valve for
+	// quasi-constant-column blow-ups (Section 5.4).
+	MaxCandidates int64
+	// MaxLevel stops the traversal after the given tree level (a level-ℓ
+	// candidate has |X|+|Y| = ℓ); zero means no limit.
+	MaxLevel int
+	// DisableColumnReduction skips Section 4.1's reduction phase. Only
+	// meant for ablation benchmarks; results then contain redundant
+	// dependencies among equivalent or constant columns.
+	DisableColumnReduction bool
+	// Columns restricts discovery to a subset of attributes, supporting
+	// the "most interesting columns" mode of Section 5.4. Nil means all.
+	Columns []attr.ID
+	// UseSortedPartitions switches the checking backend to incrementally
+	// derived sorted partitions (Section 5.3.1's technique) instead of
+	// per-candidate index sorts. Results are identical; the backends trade
+	// memory for derivation reuse differently.
+	UseSortedPartitions bool
+}
+
+const defaultIndexCacheSize = 64
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 0 // resolved by the discoverer to GOMAXPROCS
+	}
+	return o.Workers
+}
+
+// Stats aggregates counters of a run, the execution statistics of Table 6.
+type Stats struct {
+	// Checks is the number of order checks performed (OCD and OD checks),
+	// the "#checks" column of Table 6.
+	Checks int64
+	// Candidates is the total number of candidates generated for the
+	// tree, including the initial level.
+	Candidates int64
+	// Levels is the number of tree levels processed.
+	Levels int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Truncated indicates the run hit Timeout or MaxCandidates and the
+	// results are partial (the paper reports these rows with a †).
+	Truncated bool
+}
+
+// Result is the output of a discovery run.
+type Result struct {
+	// RelationName labels the run.
+	RelationName string
+	// OCDs are the minimal order compatibility dependencies found, both
+	// sides disjoint and over reduced columns (Definition 3.4).
+	OCDs []OCD
+	// ODs are the valid order dependencies X → Y found at valid OCD nodes
+	// (Lines 9 and 16 of Algorithm 3).
+	ODs []OD
+	// Constants are the constant columns removed in the reduction phase;
+	// each is ordered by every attribute list.
+	Constants []attr.ID
+	// EquivClasses are the order-equivalence classes of size ≥ 2 found in
+	// the reduction phase; the first element of each class is the
+	// representative kept during the search.
+	EquivClasses [][]attr.ID
+	// Stats holds execution counters.
+	Stats Stats
+}
+
+// NumOCDs returns len(OCDs), for readable reporting call sites.
+func (r *Result) NumOCDs() int { return len(r.OCDs) }
+
+// NumODs returns len(ODs).
+func (r *Result) NumODs() int { return len(r.ODs) }

@@ -1,0 +1,508 @@
+// Package datagen generates the datasets of the paper's evaluation
+// (Section 5.1).
+//
+// The tiny pedagogical tables (YES, NO, NUMBERS, the Table 1 tax relation)
+// are reproduced exactly. The six real-world datasets come from the HPI
+// repeatability repository, which is not available offline; for those this
+// package generates *structure-preserving synthetic replicas*: the same row
+// and column counts (scalable where the experiments sample them) and the
+// same structural features the evaluation exercises — constant columns,
+// quasi-constant low-entropy columns, order-equivalent column groups,
+// FD-linked columns, NULL-heavy categorical columns and independent noise.
+// Absolute dependency counts differ from the originals, but the behaviours
+// the paper measures (pruning, quasi-constant blow-up, scalability shape)
+// are driven by exactly these features. All generators are deterministic.
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"ocd/internal/relation"
+)
+
+// Yes reproduces the properties of Table 5(a): A ~ B holds (equivalently
+// AB ↔ BA) while neither A → B nor B → A does, so the dependency cannot be
+// inferred from shorter ones — the dataset on which ORDER finds nothing.
+func Yes() *relation.Relation {
+	return relation.FromInts("YES", []string{"A", "B"}, [][]int{
+		{1, 1}, {1, 2}, {2, 3}, {3, 3}, {4, 4},
+	})
+}
+
+// No reproduces the properties of Table 5(b): neither A → B, B → A nor
+// A ~ B hold.
+func No() *relation.Relation {
+	return relation.FromInts("NO", []string{"A", "B"}, [][]int{
+		{1, 2}, {1, 3}, {2, 1}, {3, 1}, {4, 4},
+	})
+}
+
+// Numbers is the NUMBERS dataset of Table 7, on which the buggy FASTOD
+// binary reported spurious ODs such as [B] → [A,C].
+func Numbers() *relation.Relation {
+	return relation.FromInts("NUMBERS", []string{"A", "B", "C", "D"}, [][]int{
+		{1, 3, 1, 1},
+		{2, 3, 2, 2},
+		{3, 2, 2, 2},
+		{3, 1, 2, 3},
+		{4, 4, 2, 4},
+		{4, 5, 3, 2},
+	})
+}
+
+// TaxTable is the Table 1 relation of the introduction (the name column is
+// included as a string attribute).
+func TaxTable() *relation.Relation {
+	rows := [][]string{
+		{"T. Green", "35000", "3000", "1", "5250"},
+		{"J. Smith", "40000", "4000", "1", "6000"},
+		{"J. Doe", "40000", "3800", "1", "6000"},
+		{"S. Black", "55000", "6500", "2", "8500"},
+		{"W. White", "60000", "6500", "2", "9500"},
+		{"M. Darrel", "80000", "10000", "3", "14000"},
+	}
+	r, err := relation.FromStrings("TaxInfo",
+		[]string{"name", "income", "savings", "bracket", "tax"}, rows, relation.Options{})
+	if err != nil {
+		panic(err) // static data, cannot fail
+	}
+	return r
+}
+
+// Letter replicates the shape of the UCI letter-recognition dataset used as
+// LETTER: 17 columns (one 26-letter class label plus 16 small-integer
+// features), with features nearly independent so that almost every OCD
+// candidate dies at the first level — the paper's low-dependency benchmark
+// (272 checks on 17 columns ≈ the bare level-2 candidates).
+func Letter(rows int) *relation.Relation {
+	rng := rand.New(rand.NewSource(0x1e77e4))
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 17)
+		row[0] = string(rune('A' + rng.Intn(26)))
+		for c := 1; c < 17; c++ {
+			row[c] = strconv.Itoa(rng.Intn(16))
+		}
+		data[i] = row
+	}
+	names := []string{"lettr", "xbox", "ybox", "width", "high", "onpix",
+		"xbar", "ybar", "x2bar", "y2bar", "xybar", "x2ybr", "xy2br",
+		"xege", "xegvy", "yege", "yegvx"}
+	r, err := relation.FromStrings("LETTER", names, data, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Hepatitis replicates the shape of the UCI hepatitis dataset (155×20):
+// a 2-valued class column, many 2-valued symptom columns dense with "?"
+// missing values, and a few numeric measurements. The binary/NULL-heavy
+// columns are exactly the quasi-constant structure that makes this dataset
+// dependency-rich for OCDDISCOVER (Table 6 shows tens of thousands of ODs).
+func Hepatitis() *relation.Relation {
+	const rows = 155
+	rng := rand.New(rand.NewSource(0x4e9a71))
+	names := []string{"class", "age", "sex", "steroid", "antivirals",
+		"fatigue", "malaise", "anorexia", "liver_big", "liver_firm",
+		"spleen", "spiders", "ascites", "varices", "bilirubin",
+		"alk_phosphate", "sgot", "albumin", "protime", "histology"}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 20)
+		row[0] = strconv.Itoa(1 + rng.Intn(2))   // class
+		row[1] = strconv.Itoa(20 + rng.Intn(60)) // age
+		row[2] = strconv.Itoa(1 + rng.Intn(2))   // sex
+		// 11 binary symptom columns in two severity hierarchies: a symptom
+		// is positive iff its latent severity exceeds the column's
+		// threshold. Nested binaries are pairwise swap-free — the
+		// structure that makes the real dataset so OCD-rich — while the
+		// two independent factors bound the search tree, mirroring how
+		// the real instance completes despite tens of thousands of
+		// dependencies. Missingness is row-level (a skipped examination),
+		// which preserves swap-freedom under NULLS FIRST.
+		liverSeverity := rng.Intn(7)    // drives columns 3..8
+		systemicSeverity := rng.Intn(6) // drives columns 9..13
+		missingExam := rng.Float64() < 0.10
+		for c := 3; c <= 13; c++ {
+			positive := false
+			if c <= 8 {
+				positive = liverSeverity > c-3
+			} else {
+				positive = systemicSeverity > c-9
+			}
+			switch {
+			case missingExam:
+				row[c] = "?"
+			case positive:
+				row[c] = "2"
+			default:
+				row[c] = "1"
+			}
+		}
+		row[14] = strconv.FormatFloat(0.3+rng.Float64()*4, 'f', 1, 64) // bilirubin
+		row[15] = strconv.Itoa(30 + rng.Intn(250))                     // alk_phosphate
+		row[16] = strconv.Itoa(10 + rng.Intn(600))                     // sgot
+		row[17] = strconv.FormatFloat(2+rng.Float64()*4, 'f', 1, 64)   // albumin
+		if rng.Float64() < 0.43 {                                      // protime: many missing
+			row[18] = "?"
+		} else {
+			row[18] = strconv.Itoa(20 + rng.Intn(80))
+		}
+		row[19] = strconv.Itoa(1 + rng.Intn(2)) // histology
+		data[i] = row
+	}
+	r, err := relation.FromStrings("HEPATITIS", names, data, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Horse replicates the shape of the UCI horse-colic dataset (300×29):
+// small-domain categorical columns, roughly 30% missing values, a handful
+// of numeric vitals and a couple of near-constant flags.
+func Horse() *relation.Relation {
+	const rows = 300
+	rng := rand.New(rand.NewSource(0x4085e))
+	names := make([]string, 29)
+	for i := range names {
+		names[i] = "h" + strconv.Itoa(i+1)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 29)
+		row[0] = strconv.Itoa(1 + rng.Intn(2)) // surgery
+		row[1] = strconv.Itoa(1 + rng.Intn(2)) // age: young/adult
+		row[2] = strconv.Itoa(520000 + i)      // hospital number: key
+		// vitals
+		row[3] = maybe(rng, 0.2, strconv.FormatFloat(36+rng.Float64()*4, 'f', 1, 64))
+		row[4] = maybe(rng, 0.25, strconv.Itoa(30+rng.Intn(130)))
+		row[5] = maybe(rng, 0.3, strconv.Itoa(8+rng.Intn(80)))
+		// a small nested group of pain/distension grades driven by one
+		// latent severity (swap-free family, the source of HORSE's
+		// dependency count) ...
+		colic := rng.Intn(5)
+		colicMissing := rng.Float64() < 0.25 // row-level, keeps nesting
+		for c := 6; c <= 9; c++ {
+			if colicMissing {
+				row[c] = "?"
+			} else {
+				row[c] = strconv.Itoa(min(colic, c-5) + 1)
+			}
+		}
+		// ... and independent categorical exam findings, domains 2–5,
+		// ~30% missing
+		for c := 10; c <= 24; c++ {
+			dom := 2 + (c % 4)
+			row[c] = maybe(rng, 0.3, strconv.Itoa(1+rng.Intn(dom)))
+		}
+		row[25] = strconv.Itoa(1 + rng.Intn(3)) // outcome
+		row[26] = strconv.Itoa(1 + rng.Intn(2)) // surgical lesion
+		// near-constant flags: the quasi-constant columns Figure 5 blames
+		if rng.Float64() < 0.97 {
+			row[27] = "0"
+		} else {
+			row[27] = strconv.Itoa(1 + rng.Intn(2))
+		}
+		row[28] = strconv.Itoa(1 + rng.Intn(2)) // cp_data
+		data[i] = row
+	}
+	r, err := relation.FromStrings("HORSE", names, data, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func maybe(rng *rand.Rand, pMissing float64, v string) string {
+	if rng.Float64() < pMissing {
+		return "?"
+	}
+	return v
+}
+
+// NCVoter replicates the shape of the North Carolina voter registration
+// extract: an id key, a constant state column, zip/city linked by an FD,
+// an age column with a derived age-group column (order equivalence), party
+// and status codes with small domains. cols ≤ 94 selects a prefix of the
+// schema; the full NCVOTER has 94 columns, NCVOTER_1K uses 19.
+func NCVoter(rows, cols int) *relation.Relation {
+	if cols > 94 {
+		cols = 94
+	}
+	rng := rand.New(rand.NewSource(0xc407e6))
+	names := make([]string, 94)
+	base := []string{"voter_id", "state", "county_id", "county_desc", "zip",
+		"city", "age", "age_group", "party", "status", "gender", "race",
+		"ethnicity", "precinct", "ward", "district", "reg_year", "phone_code", "mail_flag"}
+	copy(names, base)
+	for i := len(base); i < 94; i++ {
+		names[i] = "extra" + strconv.Itoa(i-len(base)+1)
+	}
+	counties := 100
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 94)
+		row[0] = strconv.Itoa(100000 + i) // key
+		row[1] = "NC"                     // constant
+		county := rng.Intn(counties)
+		row[2] = strconv.Itoa(county) // county_id
+		// county_desc: zero-padded so its lexicographic order matches the
+		// numeric order of county_id → order-equivalent pair
+		row[3] = "COUNTY_" + pad6(strconv.Itoa(county))
+		zip := 27000 + rng.Intn(900)
+		row[4] = strconv.Itoa(zip)
+		row[5] = "CITY_" + strconv.Itoa(zip/10) // city: FD from zip
+		age := 18 + rng.Intn(80)
+		row[6] = strconv.Itoa(age)
+		row[7] = strconv.Itoa(age / 10) // age_group: ordered with age
+		row[8] = []string{"DEM", "REP", "UNA", "LIB"}[rng.Intn(4)]
+		row[9] = []string{"A", "I"}[rng.Intn(2)]
+		row[10] = []string{"M", "F", "U"}[rng.Intn(3)]
+		row[11] = []string{"W", "B", "A", "O"}[rng.Intn(4)]
+		row[12] = []string{"HL", "NL", "UN"}[rng.Intn(3)]
+		row[13] = strconv.Itoa(rng.Intn(200))
+		row[14] = maybe(rng, 0.4, strconv.Itoa(rng.Intn(12)))
+		row[15] = strconv.Itoa(rng.Intn(14))
+		row[16] = strconv.Itoa(1990 + rng.Intn(30))
+		row[17] = maybe(rng, 0.3, strconv.Itoa(900+rng.Intn(100)))
+		row[18] = []string{"Y", "N"}[rng.Intn(2)]
+		for c := len(base); c < 94; c++ {
+			// wide tail: mixed small domains and noise
+			switch c % 3 {
+			case 0:
+				row[c] = strconv.Itoa(rng.Intn(5))
+			case 1:
+				row[c] = maybe(rng, 0.2, strconv.Itoa(rng.Intn(1000)))
+			default:
+				row[c] = []string{"X", "Y"}[rng.Intn(2)]
+			}
+		}
+		data[i] = row
+	}
+	sub := make([][]string, rows)
+	for i, row := range data {
+		sub[i] = row[:cols]
+	}
+	r, err := relation.FromStrings("NCVOTER", names[:cols], sub, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NCVoter1K is the 1,000-row, 19-column NCVOTER_1K variant of Table 6.
+func NCVoter1K() *relation.Relation {
+	r := NCVoter(1000, 19)
+	r.Name = "NCVOTER_1K"
+	return r
+}
+
+// Flight generates the FLIGHT_1K shape: very wide (109 columns) with a
+// large share of constant columns, a block of quasi-constant columns with
+// 2–4 distinct values (the columns whose addition causes the Figure 7
+// cliff) and groups of order-equivalent columns; the combination makes the
+// complete search intractable, as Table 6 reports.
+func Flight(rows, cols int) *relation.Relation {
+	if cols > 109 {
+		cols = 109
+	}
+	rng := rand.New(rand.NewSource(0xf11647))
+	names := make([]string, 109)
+	for i := range names {
+		names[i] = "f" + strconv.Itoa(i+1)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 109)
+		key := i + 1
+		// Cancellation/diversion block: the quasi-constant columns all
+		// fire on the same small set of rows, graded by one latent
+		// severity. Correlated sparse flags are pairwise swap-free (they
+		// form a nested family), which is what makes quasi-constant
+		// columns appear on the right-hand side of a huge number of valid
+		// OCDs and blow up the search tree (Sections 5.3.2 and 5.4).
+		cancelled := rng.Float64() < 0.08
+		severity := rng.Intn(8)
+		for c := 0; c < 109; c++ {
+			switch {
+			case c < 30: // varied columns: ids, times, distances
+				switch c % 5 {
+				case 0:
+					row[c] = strconv.Itoa(key) // key-ish
+				case 1:
+					row[c] = strconv.Itoa(rng.Intn(2400)) // dep time
+				case 2:
+					row[c] = strconv.Itoa(rng.Intn(5000)) // distance
+				case 3:
+					row[c] = "FL" + strconv.Itoa(rng.Intn(900))
+				default:
+					row[c] = strconv.Itoa(rng.Intn(365))
+				}
+			case c < 45: // order-equivalent shadows of column c-30
+				if src := row[c-30]; src != "" && src[0] >= '0' && src[0] <= '9' {
+					row[c] = "S" + pad6(src) // zero-pad keeps numeric order
+				} else {
+					row[c] = src // identical copy is order-equivalent
+				}
+			case c < 75: // quasi-constant: 0 unless cancelled, then graded
+				if !cancelled {
+					row[c] = "0"
+				} else if severity > (c-45)%8 {
+					row[c] = "2"
+				} else {
+					row[c] = "1"
+				}
+			default: // constants (many all-NULL or fixed columns in FLIGHT)
+				if c%2 == 0 {
+					row[c] = ""
+				} else {
+					row[c] = "2012"
+				}
+			}
+		}
+		data[i] = row
+	}
+	sub := make([][]string, rows)
+	for i, row := range data {
+		sub[i] = row[:cols]
+	}
+	r, err := relation.FromStrings("FLIGHT_1K", names[:cols], sub, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// pad6 zero-pads a decimal string to 6 digits so that the lexicographic
+// order of the shadow column matches the numeric order of its source,
+// producing an order-equivalent column pair.
+func pad6(s string) string {
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	for len(s) < 6 {
+		s = "0" + s
+	}
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// Flight1K is the 1,000-row, 109-column FLIGHT_1K dataset of Table 6.
+func Flight1K() *relation.Relation { return Flight(1000, 109) }
+
+// DBTesma replicates the shape of the DBTESMA generator output used by the
+// HPI experiments (30 columns): a key column plus many columns functionally
+// derived from it over small domains (yielding a very large number of FDs),
+// including a few monotone derivations that also produce ODs and a pair of
+// order-equivalent columns.
+func DBTesma(rows int) *relation.Relation {
+	rng := rand.New(rand.NewSource(0xdb7e59a))
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = "t" + strconv.Itoa(i+1)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, 30)
+		key := i
+		row[0] = strconv.Itoa(key)
+		// columns 1..9: non-monotone functions of the key over small
+		// domains — lots of FDs from the key, few ODs
+		for c := 1; c <= 9; c++ {
+			row[c] = strconv.Itoa((key*(c*2654435761+1))%(5+c) + 1)
+		}
+		// columns 10..14: monotone in the key → order dependencies
+		row[10] = strconv.Itoa(key / 10)
+		row[11] = strconv.Itoa(key / 100)
+		row[12] = strconv.Itoa(key * 3)
+		row[13] = pad6(strconv.Itoa(key)) // order-equivalent with t1
+		row[14] = strconv.Itoa(key/10 + 1)
+		// columns 15..24: correlated pairs
+		v := rng.Intn(1000)
+		row[15] = strconv.Itoa(v)
+		row[16] = strconv.Itoa(v % 10)
+		row[17] = strconv.Itoa(rng.Intn(50))
+		row[18] = strconv.Itoa(rng.Intn(50))
+		row[19] = strconv.Itoa(rng.Intn(4))
+		row[20] = strconv.Itoa(rng.Intn(4))
+		row[21] = strconv.Itoa(rng.Intn(1000000))
+		row[22] = strconv.Itoa(rng.Intn(1000000))
+		row[23] = strconv.Itoa(rng.Intn(12) + 1)
+		row[24] = strconv.Itoa(rng.Intn(28) + 1)
+		// columns 25..29: small domains independent
+		for c := 25; c < 30; c++ {
+			row[c] = strconv.Itoa(rng.Intn(3 + c%3))
+		}
+		data[i] = row
+	}
+	r, err := relation.FromStrings("DBTESMA", names, data, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// DBTesma1K is the 1,000-row DBTESMA_1K variant of Table 6.
+func DBTesma1K() *relation.Relation {
+	r := DBTesma(1000)
+	r.Name = "DBTESMA_1K"
+	return r
+}
+
+// LineItem is a deterministic TPC-H-style lineitem generator (16 columns):
+// keys, quantities, prices derived monotonically from quantity within a
+// part (an OCD source), correlated ship/commit/receipt dates and low-
+// cardinality flag columns. The paper's LINEITEM has 6,001,215 rows; the
+// row count is a parameter so the Figure 2 row-scalability sweep can sample
+// it.
+func LineItem(rows int) *relation.Relation {
+	rng := rand.New(rand.NewSource(0x11e17e8))
+	names := []string{"orderkey", "partkey", "suppkey", "linenumber",
+		"quantity", "extendedprice", "discount", "tax", "returnflag",
+		"linestatus", "shipdate", "commitdate", "receiptdate",
+		"shipinstruct", "shipmode", "comment"}
+	data := make([][]string, rows)
+	line := 1
+	order := 1
+	for i := range data {
+		row := make([]string, 16)
+		if line > 1+rng.Intn(7) {
+			line = 1
+			order += 1 + rng.Intn(3)
+		}
+		part := 1 + rng.Intn(20000)
+		qty := 1 + rng.Intn(50)
+		price := qty * (90000 + part%1000) / 100 // monotone in qty for a part
+		ship := 8000 + rng.Intn(2500)
+		row[0] = strconv.Itoa(order)
+		row[1] = strconv.Itoa(part)
+		row[2] = strconv.Itoa(1 + part%100)
+		row[3] = strconv.Itoa(line)
+		row[4] = strconv.Itoa(qty)
+		row[5] = strconv.Itoa(price)
+		row[6] = "0.0" + strconv.Itoa(rng.Intn(10))
+		row[7] = "0.0" + strconv.Itoa(rng.Intn(8))
+		row[8] = []string{"A", "N", "R"}[rng.Intn(3)]
+		row[9] = []string{"F", "O"}[rng.Intn(2)]
+		row[10] = strconv.Itoa(ship)
+		row[11] = strconv.Itoa(ship + 15 + rng.Intn(45)) // commit after ship
+		row[12] = strconv.Itoa(ship + 1 + rng.Intn(30))  // receipt after ship
+		row[13] = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}[rng.Intn(4)]
+		row[14] = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}[rng.Intn(7)]
+		row[15] = "c" + strconv.Itoa(rng.Intn(1000000))
+		line++
+		data[i] = row
+	}
+	r, err := relation.FromStrings("LINEITEM", names, data, relation.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

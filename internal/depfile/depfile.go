@@ -1,0 +1,111 @@
+// Package depfile parses the textual dependency format consumed by
+// cmd/odverify: one dependency per line, attribute lists comma separated,
+// "->" for order dependencies and "~" for order compatibility, with
+// #-comments and blank lines ignored.
+//
+//	income -> bracket
+//	income, savings -> savings
+//	income ~ savings       # OCD
+package depfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// Dep is one parsed dependency.
+type Dep struct {
+	// Lhs and Rhs are the two attribute lists.
+	Lhs, Rhs attr.List
+	// OCD marks X ~ Y lines; false means the OD X -> Y.
+	OCD bool
+	// Raw is the trimmed source line, for error messages and reports.
+	Raw string
+	// Line is the 1-based source line number.
+	Line int
+}
+
+// Parse reads dependencies, resolving column names against r's schema.
+func Parse(src io.Reader, r *relation.Relation) ([]Dep, error) {
+	var out []Dep
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		d, err := parseLine(line, r)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		d.Line = lineNo
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string, r *relation.Relation) (Dep, error) {
+	sep, ocd := "->", false
+	if !strings.Contains(line, "->") {
+		if !strings.Contains(line, "~") {
+			return Dep{}, fmt.Errorf("expected 'X -> Y' or 'X ~ Y' in %q", line)
+		}
+		sep, ocd = "~", true
+	}
+	parts := strings.SplitN(line, sep, 2)
+	lhs, err := parseList(parts[0], r)
+	if err != nil {
+		return Dep{}, err
+	}
+	rhs, err := parseList(parts[1], r)
+	if err != nil {
+		return Dep{}, err
+	}
+	return Dep{Lhs: lhs, Rhs: rhs, OCD: ocd, Raw: line}, nil
+}
+
+func parseList(s string, r *relation.Relation) (attr.List, error) {
+	var out attr.List
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		id, ok := r.ColIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown column %q", name)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty attribute list in %q", s)
+	}
+	return out, nil
+}
+
+// Format renders a dependency back into the file syntax.
+func Format(d Dep, names func(attr.ID) string) string {
+	sep := " -> "
+	if d.OCD {
+		sep = " ~ "
+	}
+	return joinNames(d.Lhs, names) + sep + joinNames(d.Rhs, names)
+}
+
+func joinNames(l attr.List, names func(attr.ID) string) string {
+	parts := make([]string, len(l))
+	for i, a := range l {
+		parts[i] = names(a)
+	}
+	return strings.Join(parts, ", ")
+}

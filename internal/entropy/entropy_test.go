@@ -1,0 +1,120 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+func TestConstantColumnZero(t *testing.T) {
+	r := relation.FromInts("t", []string{"K"}, [][]int{{5}, {5}, {5}})
+	if h := Entropy(r, 0); h != 0 {
+		t.Errorf("constant entropy = %v, want 0", h)
+	}
+}
+
+func TestAllDistinctIsLogN(t *testing.T) {
+	r := relation.FromInts("t", []string{"A"}, [][]int{{1}, {2}, {3}, {4}})
+	want := math.Log(4)
+	if h := Entropy(r, 0); math.Abs(h-want) > 1e-12 {
+		t.Errorf("entropy = %v, want log 4 = %v", h, want)
+	}
+	if m := MaxEntropy(r); math.Abs(m-want) > 1e-12 {
+		t.Errorf("MaxEntropy = %v, want %v", m, want)
+	}
+}
+
+func TestUniformBinary(t *testing.T) {
+	r := relation.FromInts("t", []string{"B"}, [][]int{{0}, {1}, {0}, {1}})
+	want := math.Log(2)
+	if h := Entropy(r, 0); math.Abs(h-want) > 1e-12 {
+		t.Errorf("entropy = %v, want log 2", h)
+	}
+}
+
+func TestNullsFormOneClass(t *testing.T) {
+	r, err := relation.FromStrings("t", []string{"A"}, [][]string{
+		{""}, {"?"}, {"NULL"}, {"x"},
+	}, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// classes: {NULL×3}, {x}: H = -(3/4 log 3/4 + 1/4 log 1/4)
+	want := -(0.75*math.Log(0.75) + 0.25*math.Log(0.25))
+	if h := Entropy(r, 0); math.Abs(h-want) > 1e-12 {
+		t.Errorf("entropy = %v, want %v", h, want)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := relation.FromInts("t", []string{"A"}, nil)
+	if Entropy(r, 0) != 0 || MaxEntropy(r) != 0 {
+		t.Error("empty relation should have zero entropies")
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	r := relation.FromInts("t", []string{"K", "B", "U"}, [][]int{
+		{7, 0, 1}, {7, 0, 2}, {7, 1, 3}, {7, 1, 4},
+	})
+	ranked := Rank(r)
+	// U (all distinct) > B (binary) > K (constant)
+	if ranked[0].Col != 2 || ranked[1].Col != 1 || ranked[2].Col != 0 {
+		t.Errorf("Rank order = %v", ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Entropy < ranked[i].Entropy {
+			t.Error("Rank not descending")
+		}
+	}
+}
+
+func TestTopColumns(t *testing.T) {
+	r := relation.FromInts("t", []string{"K", "U"}, [][]int{{7, 1}, {7, 2}})
+	top := TopColumns(r, 1)
+	if len(top) != 1 || top[0] != 1 {
+		t.Errorf("TopColumns = %v", top)
+	}
+	if got := TopColumns(r, 99); len(got) != 2 {
+		t.Errorf("TopColumns over-length = %v", got)
+	}
+}
+
+func TestQuasiConstant(t *testing.T) {
+	r := relation.FromInts("t", []string{"K", "Q", "U"}, [][]int{
+		{7, 0, 1}, {7, 0, 2}, {7, 1, 3}, {7, 0, 4},
+	})
+	qc := QuasiConstant(r, 3)
+	if len(qc) != 1 || qc[0] != 1 {
+		t.Errorf("QuasiConstant = %v", qc)
+	}
+}
+
+// Property: entropy is bounded by [0, log n] and invariant under value
+// relabeling (depends only on the histogram).
+func TestQuickBoundsAndRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		vals := make([][]int, n)
+		perm := rng.Perm(64)
+		relab := make([][]int, n)
+		for i := range vals {
+			v := rng.Intn(8)
+			vals[i] = []int{v}
+			relab[i] = []int{perm[v]} // order-changing but injective
+		}
+		r1 := relation.FromInts("a", []string{"A"}, vals)
+		r2 := relation.FromInts("b", []string{"A"}, relab)
+		h1, h2 := Entropy(r1, attr.ID(0)), Entropy(r2, attr.ID(0))
+		if math.Abs(h1-h2) > 1e-9 {
+			t.Fatalf("relabeling changed entropy: %v vs %v", h1, h2)
+		}
+		if h1 < -1e-12 || h1 > MaxEntropy(r1)+1e-12 {
+			t.Fatalf("entropy out of bounds: %v", h1)
+		}
+	}
+}

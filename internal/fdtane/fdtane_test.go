@@ -1,0 +1,259 @@
+package fdtane
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// bruteMinimalFDs enumerates all minimal FDs by definition: X → A valid iff
+// no two rows agree on X but differ on A; minimal iff no proper subset of X
+// determines A.
+func bruteMinimalFDs(r *relation.Relation) []FD {
+	n := r.NumCols()
+	validFD := func(lhs []attr.ID, rhs attr.ID) bool {
+		type key struct{ k string }
+		seen := map[string]int32{}
+		for row := 0; row < r.NumRows(); row++ {
+			k := ""
+			for _, a := range lhs {
+				k += string(rune(r.Code(row, a))) + "\x00"
+			}
+			v := r.Code(row, rhs)
+			if prev, ok := seen[k]; ok {
+				if prev != v {
+					return false
+				}
+			} else {
+				seen[k] = v
+			}
+		}
+		_ = key{}
+		return true
+	}
+	// enumerate subsets by bitmask (n ≤ ~12 in tests)
+	subsets := make([][]attr.ID, 1<<n)
+	for m := 0; m < 1<<n; m++ {
+		for b := 0; b < n; b++ {
+			if m&(1<<b) != 0 {
+				subsets[m] = append(subsets[m], attr.ID(b))
+			}
+		}
+	}
+	valid := make([][]bool, 1<<n) // valid[mask][rhs]
+	for m := range valid {
+		valid[m] = make([]bool, n)
+		for a := 0; a < n; a++ {
+			if m&(1<<a) != 0 {
+				continue // rhs inside lhs: trivial, skip
+			}
+			valid[m][a] = validFD(subsets[m], attr.ID(a))
+		}
+	}
+	var out []FD
+	for m := 0; m < 1<<n; m++ {
+		for a := 0; a < n; a++ {
+			if m&(1<<a) != 0 || !valid[m][a] {
+				continue
+			}
+			minimal := true
+			for b := 0; b < n && minimal; b++ {
+				if m&(1<<b) != 0 && valid[m&^(1<<b)][a] {
+					minimal = false
+				}
+			}
+			if minimal {
+				out = append(out, FD{Lhs: attr.NewSet(subsets[m]...), Rhs: attr.ID(a)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ki, kj := out[i].Lhs.Key(), out[j].Lhs.Key(); ki != kj {
+			return ki < kj
+		}
+		return out[i].Rhs < out[j].Rhs
+	})
+	return out
+}
+
+func sameFDs(a, b []FD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Lhs.Equal(b[i].Lhs) || a[i].Rhs != b[i].Rhs {
+			return false
+		}
+	}
+	return true
+}
+
+func fdStrings(fds []FD) []string {
+	names := func(a attr.ID) string { return string(rune('A' + int(a))) }
+	out := make([]string, len(fds))
+	for i, f := range fds {
+		out[i] = f.Format(names)
+	}
+	return out
+}
+
+func TestTaxTableFDs(t *testing.T) {
+	r := relation.FromInts("tax", []string{"income", "savings", "bracket", "tax"}, [][]int{
+		{35000, 3000, 1, 5250},
+		{40000, 4000, 1, 6000},
+		{40000, 3800, 1, 6000},
+		{55000, 6500, 2, 8500},
+		{60000, 6500, 2, 9500},
+		{80000, 10000, 3, 14000},
+	})
+	got := Discover(r)
+	want := bruteMinimalFDs(r)
+	if !sameFDs(got, want) {
+		t.Fatalf("TANE:\n%v\nbrute:\n%v", fdStrings(got), fdStrings(want))
+	}
+	// The §1 dependencies must be present: income → bracket, income → tax,
+	// tax → income (all with singleton LHS).
+	has := func(lhs, rhs int) bool {
+		for _, f := range got {
+			if f.Lhs.Equal(attr.NewSet(attr.ID(lhs))) && f.Rhs == attr.ID(rhs) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 2) || !has(0, 3) || !has(3, 0) {
+		t.Errorf("missing §1 FDs; got %v", fdStrings(got))
+	}
+}
+
+func TestConstantColumnFD(t *testing.T) {
+	r := relation.FromInts("c", []string{"A", "K"}, [][]int{{1, 5}, {2, 5}})
+	got := Discover(r)
+	foundEmpty := false
+	for _, f := range got {
+		if f.Lhs.Len() == 0 && f.Rhs == 1 {
+			foundEmpty = true
+		}
+	}
+	if !foundEmpty {
+		t.Errorf("∅ → K missing: %v", fdStrings(got))
+	}
+}
+
+func TestKeyColumn(t *testing.T) {
+	// A is a key: A → B and A → C minimal; no other minimal FDs except
+	// those among B, C.
+	r := relation.FromInts("k", []string{"A", "B", "C"}, [][]int{
+		{1, 1, 2}, {2, 1, 2}, {3, 2, 1}, {4, 2, 1},
+	})
+	got := Discover(r)
+	want := bruteMinimalFDs(r)
+	if !sameFDs(got, want) {
+		t.Fatalf("TANE:\n%v\nbrute:\n%v", fdStrings(got), fdStrings(want))
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	// Neither A nor B is a key, but {A,B} is.
+	r := relation.FromInts("ck", []string{"A", "B", "C"}, [][]int{
+		{1, 1, 7}, {1, 2, 8}, {2, 1, 9}, {2, 2, 7},
+	})
+	got := Discover(r)
+	want := bruteMinimalFDs(r)
+	if !sameFDs(got, want) {
+		t.Fatalf("TANE:\n%v\nbrute:\n%v", fdStrings(got), fdStrings(want))
+	}
+	// AB → C must be among them.
+	found := false
+	for _, f := range got {
+		if f.Lhs.Equal(attr.NewSet(0, 1)) && f.Rhs == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("AB → C missing: %v", fdStrings(got))
+	}
+}
+
+func TestNoFDs(t *testing.T) {
+	// Two independent binary columns over 4 rows: every combination
+	// appears, so no non-trivial FD in either direction... but AB is not a
+	// key either (all pairs distinct, it is a key!). Use duplicated rows to
+	// kill key FDs too.
+	r := relation.FromInts("n", []string{"A", "B"}, [][]int{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 0},
+	})
+	got := Discover(r)
+	want := bruteMinimalFDs(r)
+	if !sameFDs(got, want) {
+		t.Fatalf("TANE:\n%v\nbrute:\n%v", fdStrings(got), fdStrings(want))
+	}
+	if len(got) != 0 {
+		t.Errorf("expected no FDs, got %v", fdStrings(got))
+	}
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 120; trial++ {
+		nr, nc := 1+rng.Intn(16), 2+rng.Intn(4) // up to 5 columns
+		rows := make([][]int, nr)
+		for i := range rows {
+			rows[i] = make([]int, nc)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(3)
+			}
+		}
+		names := make([]string, nc)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		r := relation.FromInts("rand", names, rows)
+		got := Discover(r)
+		want := bruteMinimalFDs(r)
+		if !sameFDs(got, want) {
+			t.Fatalf("trial %d (rows %v):\nTANE:  %v\nbrute: %v", trial, rows, fdStrings(got), fdStrings(want))
+		}
+	}
+}
+
+func TestWithNulls(t *testing.T) {
+	// NULL = NULL semantics: two NULLs agree on A, so differing B breaks
+	// the FD A → B.
+	r, err := relation.FromStrings("t", []string{"A", "B"}, [][]string{
+		{"", "1"}, {"", "2"}, {"x", "3"},
+	}, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Discover(r)
+	for _, f := range got {
+		if f.Lhs.Equal(attr.NewSet(0)) && f.Rhs == 1 {
+			t.Error("A → B must fail under NULL = NULL")
+		}
+	}
+}
+
+func TestSingleColumn(t *testing.T) {
+	r := relation.FromInts("s", []string{"A"}, [][]int{{1}, {2}})
+	if got := Discover(r); len(got) != 0 {
+		t.Errorf("single varying column: %v", fdStrings(got))
+	}
+	rc := relation.FromInts("sc", []string{"A"}, [][]int{{1}, {1}})
+	got := Discover(rc)
+	if len(got) != 1 || got[0].Lhs.Len() != 0 {
+		t.Errorf("single constant column: %v", fdStrings(got))
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := relation.FromInts("e", []string{"A", "B"}, nil)
+	got := Discover(r)
+	// Every column is constant on an empty instance: ∅ → A, ∅ → B.
+	if len(got) != 2 {
+		t.Errorf("empty relation FDs: %v", fdStrings(got))
+	}
+}

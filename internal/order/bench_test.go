@@ -1,0 +1,69 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+)
+
+func newBenchRel(rows int) *benchEnv {
+	rng := rand.New(rand.NewSource(271))
+	r := randomRelation(rng, rows, 6, 50)
+	return &benchEnv{r: NewChecker(r, 64), pc: NewPartitionChecker(r, 64)}
+}
+
+type benchEnv struct {
+	r  *Checker
+	pc *PartitionChecker
+}
+
+func BenchmarkCheckOCDSmall(b *testing.B) {
+	env := newBenchRel(1_000)
+	x, y := attr.NewList(0, 1), attr.NewList(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.r.CheckOCD(x, y)
+	}
+}
+
+func BenchmarkCheckODFullSmall(b *testing.B) {
+	env := newBenchRel(1_000)
+	x, y := attr.NewList(0), attr.NewList(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.r.CheckODFull(x, y)
+	}
+}
+
+func BenchmarkSortedIndexUncached(b *testing.B) {
+	env := newBenchRel(10_000)
+	lists := []attr.List{attr.NewList(0, 1), attr.NewList(2, 3), attr.NewList(4, 5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chk := NewChecker(env.r.Relation(), 0)
+		for _, l := range lists {
+			chk.SortedIndex(l)
+		}
+	}
+}
+
+func BenchmarkPartitionExtend(b *testing.B) {
+	env := newBenchRel(10_000)
+	base := Base(env.r.Relation().NumRows())
+	sp := base.Extend(env.r.Relation(), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Extend(env.r.Relation(), 1)
+	}
+}
+
+func BenchmarkCompareRows(b *testing.B) {
+	env := newBenchRel(1_000)
+	r := env.r.Relation()
+	l := attr.NewList(0, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompareRows(r, i%1000, (i+1)%1000, l)
+	}
+}

@@ -1,0 +1,285 @@
+// Package order implements the lexicographic order operator ⪯ over attribute
+// lists (Definition 2.1) and the validity checks for order dependencies and
+// order compatibility dependencies (Section 4.3 of the paper).
+//
+// The central primitive is the sorted index: to check a candidate we sort an
+// index of row positions by the left-hand side list and then scan adjacent
+// rows verifying that the right-hand side never decreases (Algorithm 2). A
+// violating pair is classified as a *split* (equal LHS, differing RHS — a
+// functional-dependency violation) or a *swap* (strictly increasing LHS,
+// strictly decreasing RHS — an order-compatibility violation); an OD holds
+// iff the instance contains neither (Theorem 3.9).
+package order
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// CompareRows compares tuples at row positions i and j on the attribute list
+// X under the ⪯ operator of Definition 2.1, returning -1, 0 or 1. NULLs sort
+// first and compare equal to each other (rank encoding guarantees both).
+func CompareRows(r *relation.Relation, i, j int, x attr.List) int {
+	for _, a := range x {
+		ci, cj := r.Code(i, a), r.Code(j, a)
+		if ci < cj {
+			return -1
+		}
+		if ci > cj {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Leq reports p_X ⪯ q_X for row positions p, q.
+func Leq(r *relation.Relation, p, q int, x attr.List) bool {
+	return CompareRows(r, p, q, x) <= 0
+}
+
+// ViolationKind classifies why an OD fails on an instance.
+type ViolationKind int
+
+const (
+	// Split: two tuples agree on the LHS but differ on the RHS; the
+	// embedded functional dependency is violated.
+	Split ViolationKind = iota
+	// Swap: the LHS strictly increases while the RHS strictly decreases;
+	// order compatibility is violated.
+	Swap
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if k == Split {
+		return "split"
+	}
+	return "swap"
+}
+
+// Violation is a witness pair of row positions falsifying an OD.
+type Violation struct {
+	Kind ViolationKind
+	P, Q int
+}
+
+// ODResult reports the outcome of a full OD check.
+type ODResult struct {
+	// Valid is true when the OD holds: no split and no swap.
+	Valid bool
+	// HasSplit / HasSwap report which violation kinds occur anywhere in
+	// the instance (both may be true). They drive the pruning rules of the
+	// discovery algorithms.
+	HasSplit bool
+	HasSwap  bool
+	// SplitWitness / SwapWitness are example violating pairs, valid only
+	// when the corresponding Has flag is set.
+	SplitWitness Violation
+	SwapWitness  Violation
+}
+
+// Checker performs order checks against a fixed relation, caching sorted
+// indexes keyed by the sort list. It is safe for concurrent use; the paper's
+// multi-threaded tree traversal (Section 4.2.2) shares one Checker across
+// workers.
+type Checker struct {
+	r *relation.Relation
+
+	mu    sync.Mutex
+	cache map[string][]int32
+	fifo  []string
+	cap   int
+
+	checks atomic.Int64
+	sorts  atomic.Int64
+}
+
+// NewChecker returns a Checker over r whose index cache holds at most
+// cacheCap sorted indexes (0 disables caching).
+func NewChecker(r *relation.Relation, cacheCap int) *Checker {
+	return &Checker{
+		r:     r,
+		cache: make(map[string][]int32),
+		cap:   cacheCap,
+	}
+}
+
+// Relation returns the relation the checker operates on.
+func (c *Checker) Relation() *relation.Relation { return c.r }
+
+// Checks returns the number of candidate checks performed so far, the
+// "#checks" statistic of Table 6.
+func (c *Checker) Checks() int64 { return c.checks.Load() }
+
+// Sorts returns how many sorted indexes were built (cache misses).
+func (c *Checker) Sorts() int64 { return c.sorts.Load() }
+
+// ResetStats zeroes the check and sort counters.
+func (c *Checker) ResetStats() {
+	c.checks.Store(0)
+	c.sorts.Store(0)
+}
+
+// SortedIndex returns row positions sorted ascending by list x under ⪯
+// (generateIndex in Algorithm 2). The result is shared via the cache: do not
+// mutate it.
+func (c *Checker) SortedIndex(x attr.List) []int32 {
+	key := x.Key()
+	if c.cap > 0 {
+		c.mu.Lock()
+		if idx, ok := c.cache[key]; ok {
+			c.mu.Unlock()
+			return idx
+		}
+		c.mu.Unlock()
+	}
+	idx := c.buildIndex(x)
+	if c.cap > 0 {
+		c.mu.Lock()
+		if _, ok := c.cache[key]; !ok {
+			if len(c.fifo) >= c.cap {
+				oldest := c.fifo[0]
+				c.fifo = c.fifo[1:]
+				delete(c.cache, oldest)
+			}
+			c.cache[key] = idx
+			c.fifo = append(c.fifo, key)
+		}
+		c.mu.Unlock()
+	}
+	return idx
+}
+
+func (c *Checker) buildIndex(x attr.List) []int32 {
+	c.sorts.Add(1)
+	if c.useRadix(x) {
+		return buildIndexRadix(c.r, x)
+	}
+	r := c.r
+	idx := make([]int32, r.NumRows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// Peel off the columns once so the comparator avoids interface hops.
+	cols := make([][]int32, len(x))
+	for i, a := range x {
+		cols[i] = r.Col(a)
+	}
+	sortIdxByCols(idx, cols)
+	return idx
+}
+
+// sortIdxByCols sorts row positions lexicographically by the given code
+// columns, breaking full ties by original row order so output is
+// deterministic and matches the stable radix builder.
+func sortIdxByCols(idx []int32, cols [][]int32) {
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, col := range cols {
+			va, vb := col[ia], col[ib]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return ia < ib
+	})
+}
+
+// CheckOCD reports whether the order compatibility dependency X ~ Y holds.
+// By Theorem 4.1 this needs the single OD check XY → YX: sorting by the
+// concatenation XY makes splits impossible (ties on XY are ties on YX), so
+// the scan only looks for swaps and exits early on the first one, exactly as
+// Algorithm 2 does.
+func (c *Checker) CheckOCD(x, y attr.List) bool {
+	c.checks.Add(1)
+	lhs := x.Concat(y)
+	rhs := y.Concat(x)
+	idx := c.SortedIndex(lhs)
+	r := c.r
+	for i := 0; i+1 < len(idx); i++ {
+		p, q := int(idx[i]), int(idx[i+1])
+		for _, a := range rhs {
+			cp, cq := r.Code(p, a), r.Code(q, a)
+			if cp > cq {
+				return false
+			}
+			if cp < cq {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// CheckOD reports whether the order dependency X → Y holds, with early exit
+// on the first violation of either kind.
+func (c *Checker) CheckOD(x, y attr.List) bool {
+	c.checks.Add(1)
+	idx := c.SortedIndex(x.Concat(y))
+	r := c.r
+	for i := 0; i+1 < len(idx); i++ {
+		p, q := int(idx[i]), int(idx[i+1])
+		cx := CompareRows(r, p, q, x)
+		cy := CompareRows(r, p, q, y)
+		if cx == 0 {
+			if cy != 0 {
+				return false // split
+			}
+		} else if cy > 0 {
+			return false // swap
+		}
+	}
+	return true
+}
+
+// CheckODFull checks X → Y and scans the whole instance, classifying every
+// adjacent violation, so callers learn whether splits and/or swaps exist.
+// Sorting by X with Y as tie-break guarantees that if any split (resp. swap)
+// exists then some adjacent pair exhibits one, so the scan is complete.
+func (c *Checker) CheckODFull(x, y attr.List) ODResult {
+	c.checks.Add(1)
+	idx := c.SortedIndex(x.Concat(y))
+	r := c.r
+	res := ODResult{Valid: true}
+	for i := 0; i+1 < len(idx); i++ {
+		p, q := int(idx[i]), int(idx[i+1])
+		cx := CompareRows(r, p, q, x)
+		cy := CompareRows(r, p, q, y)
+		if cx == 0 && cy != 0 {
+			if !res.HasSplit {
+				res.HasSplit = true
+				res.SplitWitness = Violation{Kind: Split, P: p, Q: q}
+			}
+		} else if cx < 0 && cy > 0 {
+			if !res.HasSwap {
+				res.HasSwap = true
+				res.SwapWitness = Violation{Kind: Swap, P: p, Q: q}
+			}
+		}
+		if res.HasSplit && res.HasSwap {
+			break // nothing more to learn
+		}
+	}
+	res.Valid = !res.HasSplit && !res.HasSwap
+	return res
+}
+
+// OrderEquivalent reports whether X ↔ Y (both X → Y and Y → X hold).
+func (c *Checker) OrderEquivalent(x, y attr.List) bool {
+	return c.CheckOD(x, y) && c.CheckOD(y, x)
+}
+
+// IsConstantList reports whether every attribute in x is constant; the empty
+// list is trivially constant.
+func (c *Checker) IsConstantList(x attr.List) bool {
+	for _, a := range x {
+		if !c.r.IsConstant(a) {
+			return false
+		}
+	}
+	return true
+}

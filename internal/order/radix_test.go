@@ -1,0 +1,165 @@
+package order
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// TestRadixMatchesComparisonSort: the two index builders must produce
+// identical indexes (both are stable with the original-row tie-break).
+func TestRadixMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 60; trial++ {
+		nr := 1 + rng.Intn(300)
+		nc := 1 + rng.Intn(4)
+		rows := make([][]int, nr)
+		for i := range rows {
+			rows[i] = make([]int, nc)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(1 + rng.Intn(8))
+			}
+		}
+		names := make([]string, nc)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		r := relation.FromInts("t", names, rows)
+		var x attr.List
+		for _, p := range rng.Perm(nc)[:1+rng.Intn(nc)] {
+			x = append(x, attr.ID(p))
+		}
+		radix := buildIndexRadix(r, x)
+		comparison := referenceSort(r, x)
+		for i := range radix {
+			if radix[i] != comparison[i] {
+				t.Fatalf("trial %d: radix %v != comparison %v (list %v, rows %v)",
+					trial, radix, comparison, x, rows)
+			}
+		}
+	}
+}
+
+// referenceSort is the comparison-based builder, independent of the Checker
+// plumbing.
+func referenceSort(r *relation.Relation, x attr.List) []int32 {
+	idx := make([]int32, r.NumRows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return CompareRows(r, int(idx[a]), int(idx[b]), x) < 0
+	})
+	return idx
+}
+
+func TestRadixWithNulls(t *testing.T) {
+	r, err := relation.FromStrings("t", []string{"A", "B"}, [][]string{
+		{"", "2"}, {"1", ""}, {"", ""}, {"2", "1"}, {"1", "1"},
+	}, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := attr.NewList(0, 1)
+	radix := buildIndexRadix(r, x)
+	want := referenceSort(r, x)
+	for i := range want {
+		if radix[i] != want[i] {
+			t.Fatalf("radix %v != reference %v", radix, want)
+		}
+	}
+	// NULLS FIRST: row 2 (both NULL) must come first.
+	if radix[0] != 2 {
+		t.Errorf("NULL row not first: %v", radix)
+	}
+}
+
+func TestRadixEmptyCases(t *testing.T) {
+	empty := relation.FromInts("e", []string{"A"}, nil)
+	if got := buildIndexRadix(empty, attr.NewList(0)); len(got) != 0 {
+		t.Error("empty relation should give empty index")
+	}
+	r := relation.FromInts("t", []string{"A"}, [][]int{{3}, {1}})
+	if got := buildIndexRadix(r, attr.List{}); got[0] != 0 || got[1] != 1 {
+		t.Error("empty list should keep original order")
+	}
+}
+
+func TestUseRadixHeuristic(t *testing.T) {
+	small := NewChecker(relation.FromInts("s", []string{"A"}, [][]int{{1}, {2}}), 0)
+	if small.useRadix(attr.NewList(0)) {
+		t.Error("tiny relations should use comparison sort")
+	}
+	rows := make([][]int, radixThreshold+1)
+	for i := range rows {
+		rows[i] = []int{i % 7, i % 3, i % 2, i % 5, i % 11}
+	}
+	big := NewChecker(relation.FromInts("b", []string{"A", "B", "C", "D", "E"}, rows), 0)
+	if !big.useRadix(attr.NewList(0, 1)) {
+		t.Error("large relation with short list should use radix")
+	}
+	if big.useRadix(attr.NewList(0, 1, 2, 3, 4)) {
+		t.Error("long lists should fall back to comparison sort")
+	}
+}
+
+// TestCheckerEndToEndWithRadix drives full OD checks across the radix
+// threshold so both code paths serve real checks.
+func TestCheckerEndToEndWithRadix(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	nr := radixThreshold + 500
+	rows := make([][]int, nr)
+	for i := range rows {
+		v := rng.Intn(1000)
+		rows[i] = []int{v, v / 10, rng.Intn(5)}
+	}
+	r := relation.FromInts("t", []string{"A", "B", "C"}, rows)
+	c := NewChecker(r, 8)
+	if !c.CheckOD(attr.NewList(0), attr.NewList(1)) {
+		t.Error("A → B (B = A/10) should hold via the radix path")
+	}
+	if c.CheckOD(attr.NewList(1), attr.NewList(0)) {
+		t.Error("B → A must fail (splits)")
+	}
+	if !c.CheckOCD(attr.NewList(0), attr.NewList(1)) {
+		t.Error("A ~ B should hold")
+	}
+}
+
+// TestRadixOnRowSlices pins the sparse-code regression: HeadRows keeps the
+// parent's code space, so a slice can contain codes far beyond its own
+// distinct count; the radix builder must size its counters by the codes
+// actually present.
+func TestRadixOnRowSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(199))
+	rows := make([][]int, 10000)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(1000000), rng.Intn(100)}
+	}
+	r := relation.FromInts("big", []string{"A", "B"}, rows)
+	// Head slice: few rows, sparse codes; must not panic and must match
+	// the reference sort.
+	head := r.HeadRows(6000) // above radixThreshold
+	x := attr.NewList(0, 1)
+	got := buildIndexRadix(head, x)
+	want := referenceSort(head, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice radix diverges at %d", i)
+		}
+	}
+	// Through the Checker end to end too.
+	c := NewChecker(head, 4)
+	c.CheckOCD(attr.NewList(0), attr.NewList(1))
+	sel := r.SelectRows([]int{9999, 0, 5000, 42, 4999, 7777})
+	got = buildIndexRadix(sel, x)
+	want = referenceSort(sel, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectRows radix diverges at %d", i)
+		}
+	}
+}

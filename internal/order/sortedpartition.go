@@ -1,0 +1,321 @@
+package order
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// Section 5.3.1 of the paper notes that previous work (ORDER) achieves
+// linear row scaling by "performing the check of dependency candidates with
+// sorted partitions computed from the data", and that the technique "could
+// have been re-implemented in our approach as well". This file does exactly
+// that, as an alternative backend to the re-sorting Checker.
+//
+// A sorted partition of an attribute list X is the row sequence in ⪯_X
+// order together with the boundaries of its equivalence classes (runs of
+// rows equal on X). Its power is *incremental derivation*: the sorted
+// partition of X∘A is obtained from that of X by stably sorting each class
+// by A and splitting it — O(rows) with counting sort, instead of a fresh
+// O(rows·log rows) sort of the whole relation. Since the candidate tree
+// extends lists one attribute at a time, almost every partition needed is
+// one derivation away from an already-computed parent.
+
+// SortedPartition is a relation's row order under some attribute list with
+// class boundaries.
+type SortedPartition struct {
+	// Idx holds all row positions in ⪯ order.
+	Idx []int32
+	// Ends[k] is the exclusive end offset of class k in Idx; classes are
+	// maximal runs of rows equal on the partition's list.
+	Ends []int32
+}
+
+// NumClasses returns the number of equivalence classes.
+func (sp *SortedPartition) NumClasses() int { return len(sp.Ends) }
+
+// Base returns the sorted partition of the empty list: one class with all
+// rows in original order.
+func Base(numRows int) *SortedPartition {
+	idx := make([]int32, numRows)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	ends := []int32{}
+	if numRows > 0 {
+		ends = []int32{int32(numRows)}
+	}
+	return &SortedPartition{Idx: idx, Ends: ends}
+}
+
+// Extend derives the sorted partition of list∘[a] from the partition of
+// list: each class is stably counting-sorted by a's codes and split at code
+// changes.
+func (sp *SortedPartition) Extend(r *relation.Relation, a attr.ID) *SortedPartition {
+	codes := r.Col(a)
+	out := &SortedPartition{
+		Idx:  make([]int32, len(sp.Idx)),
+		Ends: make([]int32, 0, len(sp.Ends)),
+	}
+	var counts []int32
+	start := int32(0)
+	for _, end := range sp.Ends {
+		cls := sp.Idx[start:end]
+		dst := out.Idx[start:end]
+		if len(cls) <= 24 {
+			// Small classes dominate real partitions; a stable insertion
+			// sort avoids zeroing a counting array sized by the code
+			// *range*, which profiling shows would dwarf everything else.
+			copy(dst, cls)
+			for i := 1; i < len(dst); i++ {
+				row := dst[i]
+				j := i
+				for j > 0 && codes[dst[j-1]] > codes[row] {
+					dst[j] = dst[j-1]
+					j--
+				}
+				dst[j] = row
+			}
+		} else {
+			// find the code range within the class
+			maxCode := int32(0)
+			for _, row := range cls {
+				if codes[row] > maxCode {
+					maxCode = codes[row]
+				}
+			}
+			k := int(maxCode) + 1
+			if cap(counts) < k+1 {
+				counts = make([]int32, k+1)
+			} else {
+				counts = counts[:k+1]
+				for i := range counts {
+					counts[i] = 0
+				}
+			}
+			for _, row := range cls {
+				counts[codes[row]+1]++
+			}
+			for c := 1; c <= k; c++ {
+				counts[c] += counts[c-1]
+			}
+			for _, row := range cls {
+				c := codes[row]
+				dst[counts[c]] = row
+				counts[c]++
+			}
+		}
+		// split boundaries at code changes
+		for i := range dst {
+			if i+1 == len(dst) || codes[dst[i+1]] != codes[dst[i]] {
+				out.Ends = append(out.Ends, start+int32(i)+1)
+			}
+		}
+		start = end
+	}
+	return out
+}
+
+// PartitionChecker validates OD and OCD candidates with incrementally
+// derived sorted partitions, caching one partition per attribute list. It
+// is a drop-in alternative to Checker for the discovery algorithms; the
+// ablation benchmark BenchmarkAblation_PartitionChecker compares the two.
+type PartitionChecker struct {
+	r  *relation.Relation
+	mu sync.Mutex
+	// cache maps list keys to partitions; parents stay cached so children
+	// derive in O(rows).
+	cache map[string]*SortedPartition
+	cap   int
+	fifo  []string
+
+	base   *SortedPartition
+	checks atomic.Int64
+}
+
+// NewPartitionChecker returns a checker whose cache holds at most cacheCap
+// partitions (0 disables caching beyond the base).
+func NewPartitionChecker(r *relation.Relation, cacheCap int) *PartitionChecker {
+	return &PartitionChecker{
+		r:     r,
+		cache: make(map[string]*SortedPartition),
+		cap:   cacheCap,
+		base:  Base(r.NumRows()),
+	}
+}
+
+// Partition returns the sorted partition of the list, deriving it from the
+// longest cached prefix.
+func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
+	if len(x) == 0 {
+		return c.base
+	}
+	key := x.Key()
+	c.mu.Lock()
+	if sp, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return sp
+	}
+	c.mu.Unlock()
+	// longest cached proper prefix
+	var sp *SortedPartition
+	depth := 0
+	c.mu.Lock()
+	for k := len(x) - 1; k >= 1; k-- {
+		if cached, ok := c.cache[x[:k].Key()]; ok {
+			sp, depth = cached, k
+			break
+		}
+	}
+	c.mu.Unlock()
+	if sp == nil {
+		sp = c.base
+	}
+	for ; depth < len(x); depth++ {
+		sp = sp.Extend(c.r, x[depth])
+		c.put(x[:depth+1].Key(), sp)
+	}
+	return sp
+}
+
+func (c *PartitionChecker) put(key string, sp *SortedPartition) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.cache[key]; !ok {
+		if len(c.fifo) >= c.cap {
+			delete(c.cache, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+		c.cache[key] = sp
+		c.fifo = append(c.fifo, key)
+	}
+	c.mu.Unlock()
+}
+
+// CheckOD reports whether X → Y holds, scanning X's sorted partition: rows
+// inside one class must agree on Y, and Y must never decrease across the
+// class sequence.
+func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
+	c.checks.Add(1)
+	sp := c.Partition(x)
+	r := c.r
+	start := int32(0)
+	for _, end := range sp.Ends {
+		cls := sp.Idx[start:end]
+		for i := 1; i < len(cls); i++ {
+			if CompareRows(r, int(cls[0]), int(cls[i]), y) != 0 {
+				return false // split
+			}
+		}
+		start = end
+	}
+	// across classes: representatives in order must be non-decreasing on Y
+	prev := int32(-1)
+	start = 0
+	for _, end := range sp.Ends {
+		rep := sp.Idx[start]
+		if prev >= 0 && CompareRows(r, int(prev), int(rep), y) > 0 {
+			return false // swap
+		}
+		prev = rep
+		start = end
+	}
+	return true
+}
+
+// CheckOCD reports whether X ~ Y holds via Theorem 4.1's single check: in
+// the sorted partition of XY, the projection on YX must be non-decreasing.
+// Splits cannot occur (classes of XY agree on Y and X), so only the
+// cross-class scan is needed.
+func (c *PartitionChecker) CheckOCD(x, y attr.List) bool {
+	c.checks.Add(1)
+	sp := c.Partition(x.Concat(y))
+	r := c.r
+	yx := y.Concat(x)
+	prev := int32(-1)
+	start := int32(0)
+	for _, end := range sp.Ends {
+		rep := sp.Idx[start]
+		if prev >= 0 && CompareRows(r, int(prev), int(rep), yx) > 0 {
+			return false
+		}
+		prev = rep
+		start = end
+	}
+	return true
+}
+
+// Checks returns the number of candidate checks performed, mirroring
+// Checker.Checks for interchangeable use by the discovery engine.
+func (c *PartitionChecker) Checks() int64 { return c.checks.Load() }
+
+// OrderEquivalent reports X ↔ Y.
+func (c *PartitionChecker) OrderEquivalent(x, y attr.List) bool {
+	return c.CheckOD(x, y) && c.CheckOD(y, x)
+}
+
+// Relation returns the underlying relation.
+func (c *PartitionChecker) Relation() *relation.Relation { return c.r }
+
+// CheckODFull checks X → Y and classifies the violations, mirroring
+// Checker.CheckODFull for the partition backend: a class whose rows differ
+// on Y is a split; a decrease of Y across the class sequence is a swap.
+func (c *PartitionChecker) CheckODFull(x, y attr.List) ODResult {
+	c.checks.Add(1)
+	sp := c.Partition(x)
+	r := c.r
+	res := ODResult{Valid: true}
+	start := int32(0)
+	var prevRep int32 = -1
+	for _, end := range sp.Ends {
+		cls := sp.Idx[start:end]
+		if !res.HasSplit {
+			for i := 1; i < len(cls); i++ {
+				if CompareRows(r, int(cls[0]), int(cls[i]), y) != 0 {
+					res.HasSplit = true
+					res.SplitWitness = Violation{Kind: Split, P: int(cls[0]), Q: int(cls[i])}
+					break
+				}
+			}
+		}
+		// Swap detection must compare the extremes of Y within each class
+		// when splits exist; comparing class minima/maxima via a scan of
+		// the class keeps it exact.
+		if !res.HasSwap && prevRep >= 0 {
+			// smallest Y in this class vs largest Y seen before would be
+			// exact; comparing against the previous class's max-Y row is
+			// sufficient by the boundary argument when classes are scanned
+			// in ⪯_X order with per-class Y extremes.
+			minRow := cls[0]
+			for _, row := range cls[1:] {
+				if CompareRows(r, int(row), int(minRow), y) < 0 {
+					minRow = row
+				}
+			}
+			if CompareRows(r, int(prevRep), int(minRow), y) > 0 {
+				res.HasSwap = true
+				res.SwapWitness = Violation{Kind: Swap, P: int(prevRep), Q: int(minRow)}
+			}
+		}
+		// carry forward the maximal-Y row seen so far
+		maxRow := cls[0]
+		for _, row := range cls[1:] {
+			if CompareRows(r, int(row), int(maxRow), y) > 0 {
+				maxRow = row
+			}
+		}
+		if prevRep < 0 || CompareRows(r, int(maxRow), int(prevRep), y) > 0 {
+			prevRep = maxRow
+		}
+		if res.HasSplit && res.HasSwap {
+			break
+		}
+		start = end
+	}
+	res.Valid = !res.HasSplit && !res.HasSwap
+	return res
+}

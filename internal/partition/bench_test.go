@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/relation"
+)
+
+func benchRel(rows int) *relation.Relation {
+	rng := rand.New(rand.NewSource(277))
+	data := make([][]int, rows)
+	for i := range data {
+		data[i] = []int{rng.Intn(100), rng.Intn(100)}
+	}
+	return relation.FromInts("bench", []string{"A", "B"}, data)
+}
+
+func BenchmarkSingle(b *testing.B) {
+	r := benchRel(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Single(r, 0)
+	}
+}
+
+func BenchmarkProduct(b *testing.B) {
+	r := benchRel(10_000)
+	pa, pb := Single(r, 0), Single(r, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa.Product(pb)
+	}
+}

@@ -1,0 +1,183 @@
+// Package partition implements stripped partitions, the core data structure
+// of TANE-style dependency discovery, reused here by the TANE functional-
+// dependency baseline and by the FASTOD baseline (set-based canonical ODs).
+//
+// The partition π_X of a relation groups row positions into equivalence
+// classes of tuples that agree on the attribute set X. A *stripped* partition
+// drops singleton classes: they can never witness a violation, and dropping
+// them keeps partitions small as X grows. The product π_X · π_Y computes
+// π_{X∪Y} in O(rows) with probe tables (Huhtala et al., TANE, 1999).
+package partition
+
+import (
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+// Partition is a stripped partition: equivalence classes (row-position
+// slices) of size at least two, plus the number of rows of the underlying
+// relation (needed to recover counts involving stripped singletons).
+type Partition struct {
+	Classes [][]int32
+	NumRows int
+}
+
+// Single builds the stripped partition of the single attribute a.
+func Single(r *relation.Relation, a attr.ID) *Partition {
+	codes := r.Col(a)
+	groups := make(map[int32][]int32)
+	for i, c := range codes {
+		groups[c] = append(groups[c], int32(i))
+	}
+	p := &Partition{NumRows: len(codes)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	p.normalize()
+	return p
+}
+
+// FromList builds π over an attribute set given as a list, multiplying the
+// single-attribute partitions left to right.
+func FromList(r *relation.Relation, xs attr.List) *Partition {
+	if len(xs) == 0 {
+		return Full(r.NumRows())
+	}
+	p := Single(r, xs[0])
+	for _, a := range xs[1:] {
+		p = p.Product(Single(r, a))
+	}
+	return p
+}
+
+// Full returns the partition with all rows in one class: π_∅.
+func Full(rows int) *Partition {
+	p := &Partition{NumRows: rows}
+	if rows >= 2 {
+		cls := make([]int32, rows)
+		for i := range cls {
+			cls[i] = int32(i)
+		}
+		p.Classes = [][]int32{cls}
+	}
+	return p
+}
+
+// normalize sorts classes by their first element so equal partitions have
+// equal representations (handy for tests and deterministic traversal).
+func (p *Partition) normalize() {
+	// classes produced by map iteration are unordered; simple insertion
+	// sort by head keeps this dependency-free and fast for small counts.
+	cls := p.Classes
+	for i := 1; i < len(cls); i++ {
+		j := i
+		for j > 0 && cls[j-1][0] > cls[j][0] {
+			cls[j-1], cls[j] = cls[j], cls[j-1]
+			j--
+		}
+	}
+}
+
+// NumClasses returns the number of non-singleton classes |π|.
+func (p *Partition) NumClasses() int { return len(p.Classes) }
+
+// Size returns ‖π‖, the number of rows covered by non-singleton classes.
+func (p *Partition) Size() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c)
+	}
+	return n
+}
+
+// Error returns e(π) = ‖π‖ − |π|, the number of tuples that would need to be
+// removed to make the classes singletons. TANE's FD criterion: X → A holds
+// iff e(π_X) = e(π_{X∪A}).
+func (p *Partition) Error() int { return p.Size() - p.NumClasses() }
+
+// Product computes the stripped partition π_X · π_Y = π_{X∪Y} using the
+// linear-time probe-table algorithm of TANE.
+func (p *Partition) Product(q *Partition) *Partition {
+	out := &Partition{NumRows: p.NumRows}
+	// probe[row] = index of the p-class containing row, or -1.
+	probe := make([]int32, p.NumRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, cls := range p.Classes {
+		for _, row := range cls {
+			probe[row] = int32(ci)
+		}
+	}
+	// For each q-class, bucket its rows by their p-class; buckets of size
+	// ≥ 2 are classes of the product.
+	buckets := make(map[int32][]int32)
+	for _, cls := range q.Classes {
+		for _, row := range cls {
+			pc := probe[row]
+			if pc < 0 {
+				continue // row is a p-singleton: product class is singleton
+			}
+			buckets[pc] = append(buckets[pc], row)
+		}
+		for pc, rows := range buckets {
+			if len(rows) >= 2 {
+				out.Classes = append(out.Classes, rows)
+			}
+			delete(buckets, pc)
+		}
+	}
+	out.normalize()
+	return out
+}
+
+// Refines reports whether p refines q: every class of p is contained in some
+// class of q. π_X refines π_Y iff Y's grouping is coarser, which for sets
+// means the FD X → Y holds.
+func (p *Partition) Refines(q *Partition) bool {
+	probe := make([]int32, q.NumRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, cls := range q.Classes {
+		for _, row := range cls {
+			probe[row] = int32(ci)
+		}
+	}
+	for _, cls := range p.Classes {
+		first := probe[cls[0]]
+		if first < 0 {
+			return false // row is a q-singleton but shares a p-class
+		}
+		for _, row := range cls[1:] {
+			if probe[row] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two stripped partitions group rows identically.
+func (p *Partition) Equal(q *Partition) bool {
+	return p.NumRows == q.NumRows && p.Refines(q) && q.Refines(p)
+}
+
+// ClassOfEachRow returns a row → class-id mapping where stripped singletons
+// get unique negative ids, useful for hashing contexts in FASTOD.
+func (p *Partition) ClassOfEachRow() []int32 {
+	out := make([]int32, p.NumRows)
+	next := int32(-1)
+	for i := range out {
+		out[i] = next
+		next--
+	}
+	for ci, cls := range p.Classes {
+		for _, row := range cls {
+			out[row] = int32(ci)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+func rel(rows [][]int) *relation.Relation {
+	names := make([]string, len(rows[0]))
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return relation.FromInts("t", names, rows)
+}
+
+func TestSingleStripsSingletons(t *testing.T) {
+	r := rel([][]int{{1}, {1}, {2}, {3}, {3}, {3}})
+	p := Single(r, 0)
+	if p.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d, want 2 (value 2 is a stripped singleton)", p.NumClasses())
+	}
+	if p.Size() != 5 {
+		t.Errorf("Size = %d, want 5", p.Size())
+	}
+	if p.Error() != 3 {
+		t.Errorf("Error = %d, want 3", p.Error())
+	}
+}
+
+func TestSingleAllDistinct(t *testing.T) {
+	r := rel([][]int{{1}, {2}, {3}})
+	p := Single(r, 0)
+	if p.NumClasses() != 0 || p.Size() != 0 || p.Error() != 0 {
+		t.Errorf("key column should strip to empty: %+v", p)
+	}
+}
+
+func TestFullPartition(t *testing.T) {
+	p := Full(4)
+	if p.NumClasses() != 1 || p.Size() != 4 || p.Error() != 3 {
+		t.Errorf("Full(4) = %+v", p)
+	}
+	if Full(1).NumClasses() != 0 {
+		t.Error("Full(1) should be stripped empty")
+	}
+	if Full(0).NumClasses() != 0 {
+		t.Error("Full(0) should be empty")
+	}
+}
+
+func TestProductMatchesDirect(t *testing.T) {
+	r := rel([][]int{
+		{1, 1}, {1, 1}, {1, 2}, {2, 1}, {2, 1}, {2, 2},
+	})
+	pa := Single(r, 0)
+	pb := Single(r, 1)
+	prod := pa.Product(pb)
+	direct := FromList(r, attr.NewList(0, 1))
+	if !prod.Equal(direct) {
+		t.Errorf("product %v != direct %v", prod.Classes, direct.Classes)
+	}
+	// {A,B} classes: rows {0,1} (1,1) and {3,4} (2,1).
+	if prod.NumClasses() != 2 || prod.Size() != 4 {
+		t.Errorf("product = %v", prod.Classes)
+	}
+}
+
+func TestProductCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		rows := make([][]int, 2+rng.Intn(20))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(4), rng.Intn(4)}
+		}
+		r := rel(rows)
+		pa, pb := Single(r, 0), Single(r, 1)
+		if !pa.Product(pb).Equal(pb.Product(pa)) {
+			t.Fatalf("product not commutative on %v", rows)
+		}
+	}
+}
+
+func TestRefinesAndFDSemantics(t *testing.T) {
+	// B = A/2: FD A → B holds, B → A does not.
+	r := rel([][]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {0, 0}})
+	pa, pb := Single(r, 0), Single(r, 1)
+	pab := pa.Product(pb)
+	// TANE criterion: A → B iff e(π_A) == e(π_{AB}).
+	if pa.Error() != pab.Error() {
+		t.Error("FD A→B should hold by error criterion")
+	}
+	if pb.Error() == pab.Error() {
+		t.Error("FD B→A should not hold")
+	}
+	if !pa.Refines(pb) {
+		t.Error("π_A should refine π_B when A → B")
+	}
+	if pb.Refines(pa) {
+		t.Error("π_B must not refine π_A")
+	}
+}
+
+func TestRefinesSingletonEdgeCase(t *testing.T) {
+	// π_A groups rows {0,1}; π_B has both as singletons. A's class cannot
+	// be inside any B class, so Refines must be false.
+	r := rel([][]int{{1, 1}, {1, 2}})
+	pa, pb := Single(r, 0), Single(r, 1)
+	if pa.Refines(pb) {
+		t.Error("class over q-singletons must not refine")
+	}
+	if !pb.Refines(pa) {
+		t.Error("empty stripped partition refines everything")
+	}
+}
+
+func TestFromListEmpty(t *testing.T) {
+	r := rel([][]int{{1}, {2}})
+	p := FromList(r, attr.List{})
+	if p.NumClasses() != 1 || p.Size() != 2 {
+		t.Errorf("π_∅ = %+v", p)
+	}
+}
+
+func TestClassOfEachRow(t *testing.T) {
+	r := rel([][]int{{1}, {1}, {2}, {3}, {3}})
+	p := Single(r, 0)
+	m := p.ClassOfEachRow()
+	if m[0] != m[1] || m[3] != m[4] {
+		t.Error("rows in one class must share ids")
+	}
+	if m[0] == m[3] {
+		t.Error("rows in different classes must differ")
+	}
+	if m[2] >= 0 {
+		t.Error("singleton should have a negative id")
+	}
+	if m[2] == m[0] || m[2] == m[3] {
+		t.Error("singleton id collides with a class id")
+	}
+}
+
+// brute computes the unstripped partition classes by sorting row keys.
+func bruteClasses(r *relation.Relation, xs attr.List) [][]int32 {
+	type keyed struct {
+		key string
+		row int32
+	}
+	rows := make([]keyed, r.NumRows())
+	for i := range rows {
+		k := ""
+		for _, a := range xs {
+			k += string(rune(r.Code(i, a))) + "\x00"
+		}
+		rows[i] = keyed{k, int32(i)}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].key != rows[b].key {
+			return rows[a].key < rows[b].key
+		}
+		return rows[a].row < rows[b].row
+	})
+	var out [][]int32
+	for i := 0; i < len(rows); {
+		j := i
+		for j < len(rows) && rows[j].key == rows[i].key {
+			j++
+		}
+		if j-i >= 2 {
+			cls := make([]int32, 0, j-i)
+			for k := i; k < j; k++ {
+				cls = append(cls, rows[k].row)
+			}
+			out = append(out, cls)
+		}
+		i = j
+	}
+	return out
+}
+
+// Property: FromList agrees with a brute-force grouping on random data.
+func TestQuickFromListAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 150; trial++ {
+		nr, nc := 1+rng.Intn(25), 1+rng.Intn(4)
+		rows := make([][]int, nr)
+		for i := range rows {
+			rows[i] = make([]int, nc)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(3)
+			}
+		}
+		r := rel(rows)
+		xs := make(attr.List, 0)
+		for _, p := range rng.Perm(nc)[:1+rng.Intn(nc)] {
+			xs = append(xs, attr.ID(p))
+		}
+		got := FromList(r, xs)
+		want := bruteClasses(r, xs)
+		if got.NumClasses() != len(want) {
+			t.Fatalf("classes %d != brute %d for %v over %v", got.NumClasses(), len(want), xs, rows)
+		}
+		// compare as sets of sorted classes
+		norm := func(cs [][]int32) map[string]bool {
+			m := map[string]bool{}
+			for _, c := range cs {
+				cc := append([]int32(nil), c...)
+				sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+				k := ""
+				for _, v := range cc {
+					k += string(rune(v)) + ","
+				}
+				m[k] = true
+			}
+			return m
+		}
+		gm, wm := norm(got.Classes), norm(want)
+		for k := range wm {
+			if !gm[k] {
+				t.Fatalf("missing class %q", k)
+			}
+		}
+	}
+}
+
+// Property: e(π) decreases monotonically as attributes are added.
+func TestQuickErrorMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		rows := make([][]int, 2+rng.Intn(20))
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		}
+		r := rel(rows)
+		p1 := FromList(r, attr.NewList(0))
+		p2 := FromList(r, attr.NewList(0, 1))
+		p3 := FromList(r, attr.NewList(0, 1, 2))
+		if !(p1.Error() >= p2.Error() && p2.Error() >= p3.Error()) {
+			t.Fatalf("error not monotone: %d %d %d", p1.Error(), p2.Error(), p3.Error())
+		}
+		if !p3.Refines(p1) {
+			t.Fatal("π_ABC must refine π_A")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package queryopt
+
+import (
+	"ocd/internal/attr"
+	"ocd/internal/axioms"
+)
+
+// CatalogOptimizer rewrites ORDER BY lists using only *declared*
+// dependencies — the way a real query optimizer consumes discovery output:
+// discovery runs offline, its result is stored in the catalog, and query
+// rewriting derives implications with the OD axioms instead of touching
+// data. Rewrites are sound for every instance satisfying the declared
+// dependencies (the axioms are sound), but — unlike Optimizer — they can be
+// incomplete: an instance-specific rewrite needs instance access.
+type CatalogOptimizer struct {
+	constants map[attr.ID]bool
+	classOf   map[attr.ID]attr.ID // member → representative
+	deps      []axioms.OD         // normalized to representatives
+}
+
+// Catalog describes the declared dependencies.
+type Catalog struct {
+	// ODs are declared order dependencies X → Y.
+	ODs []struct{ X, Y attr.List }
+	// EquivClasses are order-equivalence classes; the first member is the
+	// representative.
+	EquivClasses [][]attr.ID
+	// Constants are columns declared constant.
+	Constants []attr.ID
+}
+
+// NewCatalog builds a catalog-driven optimizer.
+func NewCatalog(c Catalog) *CatalogOptimizer {
+	o := &CatalogOptimizer{
+		constants: make(map[attr.ID]bool),
+		classOf:   make(map[attr.ID]attr.ID),
+	}
+	for _, k := range c.Constants {
+		o.constants[k] = true
+	}
+	for _, class := range c.EquivClasses {
+		for _, m := range class {
+			o.classOf[m] = class[0]
+		}
+	}
+	for _, d := range c.ODs {
+		o.deps = append(o.deps, axioms.OD{X: o.rewrite(d.X), Y: o.rewrite(d.Y)})
+	}
+	return o
+}
+
+// rewrite maps attributes to class representatives and drops constants —
+// both sound under the Replace theorem and the constant-column rule.
+func (o *CatalogOptimizer) rewrite(l attr.List) attr.List {
+	out := make(attr.List, 0, len(l))
+	for _, a := range l {
+		if o.constants[a] {
+			continue
+		}
+		if rep, ok := o.classOf[a]; ok {
+			a = rep
+		}
+		out = append(out, a)
+	}
+	return out.Dedup()
+}
+
+// Simplify returns the shortest prefix of cols that provably implies the
+// full ordering under the declared dependencies and the J_OD axioms. It
+// never consults data; when nothing is derivable it returns the
+// (normalized) input.
+func (o *CatalogOptimizer) Simplify(cols attr.List) attr.List {
+	norm := o.rewrite(cols)
+	if len(norm) <= 1 {
+		return o.restore(cols, norm)
+	}
+	// Bounded axiom closure over the attributes in play.
+	attrsSet := norm.Set()
+	for _, d := range o.deps {
+		for _, a := range d.X {
+			attrsSet.Add(a)
+		}
+		for _, a := range d.Y {
+			attrsSet.Add(a)
+		}
+	}
+	attrs := attrsSet.Slice()
+	maxLen := len(norm)
+	if maxLen < 3 {
+		maxLen = 3
+	}
+	if len(attrs) > 8 || maxLen > 4 {
+		// closure would be too large; fall back to declared-dep prefix
+		// matching only
+		return o.restore(cols, o.simplifyByPrefix(norm))
+	}
+	eng := axioms.New(attrs, maxLen, o.deps)
+	for k := 0; k <= len(norm); k++ {
+		if eng.Entails(norm[:k], norm) {
+			return o.restore(cols, norm[:k].Clone())
+		}
+	}
+	return o.restore(cols, norm)
+}
+
+// simplifyByPrefix drops a redundant tail using declared dependencies with
+// three sound rules, no closure: reflexivity (x orders each of its own
+// prefixes), the prefix rule (X\' → Y\' covers x → seg when X\' is a prefix
+// of x and seg a prefix of Y\'), and composition over RHS segments
+// (x → Y1 ∧ x → Y2 ⟹ x → Y1∘Y2).
+func (o *CatalogOptimizer) simplifyByPrefix(norm attr.List) attr.List {
+	for k := 0; k < len(norm); k++ {
+		prefix := norm[:k]
+		if o.derives(prefix, norm) {
+			return prefix.Clone()
+		}
+	}
+	return norm
+}
+
+// derives implements the segment-composition check described above.
+func (o *CatalogOptimizer) derives(x, y attr.List) bool {
+	segment := func(seg attr.List) bool {
+		if x.HasPrefix(seg) {
+			return true // reflexivity: x → any of its prefixes
+		}
+		for _, d := range o.deps {
+			if x.HasPrefix(d.X) && d.Y.HasPrefix(seg) {
+				return true
+			}
+		}
+		return false
+	}
+	memo := map[int]bool{}
+	var rec func(from int) bool
+	rec = func(from int) bool {
+		if from == len(y) {
+			return true
+		}
+		if v, ok := memo[from]; ok {
+			return v
+		}
+		memo[from] = false
+		for j := from + 1; j <= len(y); j++ {
+			if segment(y[from:j]) && rec(j) {
+				memo[from] = true
+				break
+			}
+		}
+		return memo[from]
+	}
+	return rec(0)
+}
+
+// restore reports the simplified list in terms of the caller's column ids:
+// internally columns are rewritten to class representatives, but the user
+// asked to order by specific columns, so each representative maps back to
+// the first input column belonging to its class.
+func (o *CatalogOptimizer) restore(original, simplified attr.List) attr.List {
+	repOf := func(a attr.ID) attr.ID {
+		if r, ok := o.classOf[a]; ok {
+			return r
+		}
+		return a
+	}
+	out := make(attr.List, len(simplified))
+	for i, a := range simplified {
+		out[i] = a
+		for _, orig := range original {
+			if repOf(orig) == a {
+				out[i] = orig
+				break
+			}
+		}
+	}
+	return out
+}

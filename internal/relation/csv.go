@@ -1,0 +1,92 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSVOptions control CSV ingestion.
+type CSVOptions struct {
+	// Comma is the field separator; ',' when zero.
+	Comma rune
+	// NoHeader indicates the first record is data, not column names; in
+	// that case columns are named A, B, C, … .
+	NoHeader bool
+	// Relation options (type inference, NULL tokens).
+	Options
+}
+
+// ReadCSV parses CSV data into a relation.
+func ReadCSV(src io.Reader, name string, opts CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(src)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // validated below with a clearer error
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("read csv %s: empty input", name)
+	}
+	var header []string
+	var rows [][]string
+	if opts.NoHeader {
+		header = make([]string, len(records[0]))
+		for i := range header {
+			header[i] = defaultColName(i)
+		}
+		rows = records
+	} else {
+		header = records[0]
+		rows = records[1:]
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("read csv %s: row %d has %d fields, want %d", name, i+1, len(row), len(header))
+		}
+	}
+	return FromStrings(name, header, rows, opts.Options)
+}
+
+// ReadCSVFile parses the CSV file at path; the relation is named after the
+// file's base name without extension.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(f, name, opts)
+}
+
+// WriteCSV writes the relation (display values, with header) as CSV.
+// NULL values are written as empty fields.
+func (r *Relation) WriteCSV(dst io.Writer) error {
+	w := csv.NewWriter(dst)
+	if err := w.Write(r.ColNames); err != nil {
+		return err
+	}
+	row := make([]string, r.NumCols())
+	for i := 0; i < r.rows; i++ {
+		for c := 0; c < r.NumCols(); c++ {
+			if r.Codes[c][i] == NullCode {
+				row[c] = ""
+			} else {
+				row[c] = r.display[c][r.Codes[c][i]]
+			}
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,504 @@
+// Package relation implements the relational substrate for order-dependency
+// discovery: typed columns, CSV ingestion with type inference, SQL NULL
+// semantics and an order-preserving dictionary ("rank") encoding.
+//
+// Every column is encoded as int32 codes such that for any two rows p, q and
+// column A: code(p, A) < code(q, A) iff p_A precedes q_A under the column's
+// natural order, and code equality coincides with value equality. NULL is
+// assigned code 0, which realises the paper's NULL handling (Section 4.3):
+// "NULL equals NULL, and NULLS FIRST for sorting". After encoding, every
+// comparison the discovery algorithms perform is a single integer compare.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ocd/internal/attr"
+)
+
+// Kind is the inferred type of a column.
+type Kind int
+
+const (
+	// KindInt columns hold 64-bit integers ordered numerically.
+	KindInt Kind = iota
+	// KindFloat columns hold floating-point numbers ordered numerically.
+	KindFloat
+	// KindString columns are ordered lexicographically (byte-wise).
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}
+
+// NullCode is the rank code assigned to NULL in every column. It is the
+// smallest code, so sorting ascending by code yields NULLS FIRST, and two
+// NULLs compare equal, per the paper's SQL semantics.
+const NullCode int32 = 0
+
+// Options control parsing and encoding of a relation.
+type Options struct {
+	// ForceString disables type inference and orders every column
+	// lexicographically, mimicking the behaviour the paper reports for
+	// FASTOD ("considers all columns as if they contain data of type
+	// String"). Off by default: like ORDER and OCDDISCOVER we infer types
+	// and use natural ordering for numbers.
+	ForceString bool
+	// NullTokens are the raw strings treated as NULL. When nil, the
+	// default set {"", "NULL", "null", "?"} is used ("?" is the missing-
+	// value marker of the UCI datasets HEPATITIS and HORSE).
+	NullTokens []string
+}
+
+func (o Options) nullSet() map[string]bool {
+	toks := o.NullTokens
+	if toks == nil {
+		toks = []string{"", "NULL", "null", "?"}
+	}
+	m := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		m[t] = true
+	}
+	return m
+}
+
+// Relation is an immutable table instance with rank-encoded columns.
+// Storage is column-major: Codes[c][row].
+type Relation struct {
+	// Name labels the relation (dataset name) for reports.
+	Name string
+	// ColNames holds one name per column.
+	ColNames []string
+	// Kinds holds the inferred type of each column.
+	Kinds []Kind
+	// Codes holds the rank-encoded values, column-major.
+	Codes [][]int32
+	// display maps, per column, a code to the representative raw string of
+	// that value (display[c][code]); code 0 is NULL.
+	display [][]string
+	// distinct counts distinct non-NULL values per column.
+	distinct []int
+	// hasNull records, per column, whether any NULL occurs.
+	hasNull []bool
+	rows    int
+}
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int { return r.rows }
+
+// NumCols returns the number of attributes.
+func (r *Relation) NumCols() int { return len(r.Codes) }
+
+// Attrs returns the full attribute set {0..NumCols-1} as a slice.
+func (r *Relation) Attrs() []attr.ID {
+	out := make([]attr.ID, r.NumCols())
+	for i := range out {
+		out[i] = attr.ID(i)
+	}
+	return out
+}
+
+// Code returns the rank code of column c at the given row.
+func (r *Relation) Code(row int, c attr.ID) int32 { return r.Codes[c][row] }
+
+// Col returns the full code slice of column c (shared, do not mutate).
+func (r *Relation) Col(c attr.ID) []int32 { return r.Codes[c] }
+
+// Value returns the display string of the value at (row, c); NULL renders as
+// "NULL".
+func (r *Relation) Value(row int, c attr.ID) string {
+	code := r.Codes[c][row]
+	return r.display[c][code]
+}
+
+// ColName returns the name of column c.
+func (r *Relation) ColName(c attr.ID) string { return r.ColNames[c] }
+
+// NameOf is a naming function suitable for attr.List.Format.
+func (r *Relation) NameOf(c attr.ID) string { return r.ColNames[c] }
+
+// Distinct returns the number of distinct non-NULL values in column c.
+func (r *Relation) Distinct(c attr.ID) int { return r.distinct[c] }
+
+// HasNull reports whether column c contains any NULL.
+func (r *Relation) HasNull(c attr.ID) bool { return r.hasNull[c] }
+
+// DistinctClasses returns the number of equivalence classes of column c,
+// counting all NULLs as a single class (NULL = NULL). This is the class
+// count used by the entropy definition (Definition 5.1).
+func (r *Relation) DistinctClasses(c attr.ID) int {
+	n := r.distinct[c]
+	if r.hasNull[c] {
+		n++
+	}
+	return n
+}
+
+// IsConstant reports whether column c is constant over the instance: all
+// tuples agree on its value (a single equivalence class, counting NULL=NULL).
+// Constant columns are ordered by every attribute list (Section 4.1).
+func (r *Relation) IsConstant(c attr.ID) bool {
+	return r.rows == 0 || r.DistinctClasses(c) == 1
+}
+
+// ColIndex returns the attribute with the given column name.
+func (r *Relation) ColIndex(name string) (attr.ID, bool) {
+	for i, n := range r.ColNames {
+		if n == name {
+			return attr.ID(i), true
+		}
+	}
+	return 0, false
+}
+
+// FromStrings builds a relation from row-major raw string data, inferring a
+// type for each column (unless opts.ForceString) and rank-encoding it.
+// Every row must have exactly len(colNames) fields.
+func FromStrings(name string, colNames []string, rows [][]string, opts Options) (*Relation, error) {
+	nc := len(colNames)
+	for i, row := range rows {
+		if len(row) != nc {
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(row), nc)
+		}
+	}
+	r := &Relation{
+		Name:     name,
+		ColNames: append([]string(nil), colNames...),
+		Kinds:    make([]Kind, nc),
+		Codes:    make([][]int32, nc),
+		display:  make([][]string, nc),
+		distinct: make([]int, nc),
+		hasNull:  make([]bool, nc),
+		rows:     len(rows),
+	}
+	nulls := opts.nullSet()
+	for c := 0; c < nc; c++ {
+		raw := make([]string, len(rows))
+		for i, row := range rows {
+			raw[i] = row[c]
+		}
+		kind := KindString
+		if !opts.ForceString {
+			kind = inferKind(raw, nulls)
+		}
+		codes, disp, distinct, hasNull, err := encodeColumn(raw, kind, nulls)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s, column %s: %w", name, colNames[c], err)
+		}
+		r.Kinds[c] = kind
+		r.Codes[c] = codes
+		r.display[c] = disp
+		r.distinct[c] = distinct
+		r.hasNull[c] = hasNull
+	}
+	return r, nil
+}
+
+// FromInts builds a relation directly from integer data (row-major), a
+// convenience for tests and synthetic datasets. Column names default to
+// "A", "B", … when nil.
+func FromInts(name string, colNames []string, rows [][]int) *Relation {
+	if len(rows) == 0 && colNames == nil {
+		panic("relation.FromInts: need column names for an empty relation")
+	}
+	nc := 0
+	if len(rows) > 0 {
+		nc = len(rows[0])
+	} else {
+		nc = len(colNames)
+	}
+	if colNames == nil {
+		colNames = make([]string, nc)
+		for i := range colNames {
+			colNames[i] = defaultColName(i)
+		}
+	}
+	raw := make([][]string, len(rows))
+	for i, row := range rows {
+		if len(row) != nc {
+			panic(fmt.Sprintf("relation.FromInts: row %d has %d fields, want %d", i, len(row), nc))
+		}
+		sr := make([]string, nc)
+		for j, v := range row {
+			sr[j] = strconv.Itoa(v)
+		}
+		raw[i] = sr
+	}
+	r, err := FromStrings(name, colNames, raw, Options{})
+	if err != nil {
+		panic(err) // unreachable: integer input always parses
+	}
+	return r
+}
+
+// defaultColName names columns A..Z, then AA, AB, … like spreadsheets.
+func defaultColName(i int) string {
+	name := ""
+	for {
+		name = string(rune('A'+i%26)) + name
+		i = i/26 - 1
+		if i < 0 {
+			break
+		}
+	}
+	return name
+}
+
+// inferKind picks the narrowest kind that parses every non-NULL value:
+// INTEGER ⊂ REAL ⊂ TEXT.
+func inferKind(raw []string, nulls map[string]bool) Kind {
+	kind := KindInt
+	sawValue := false
+	for _, s := range raw {
+		if nulls[s] {
+			continue
+		}
+		sawValue = true
+		if kind == KindInt {
+			if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+				continue
+			}
+			kind = KindFloat
+		}
+		if kind == KindFloat {
+			if _, err := strconv.ParseFloat(s, 64); err == nil {
+				continue
+			}
+			kind = KindString
+			break
+		}
+	}
+	if !sawValue {
+		return KindString
+	}
+	return kind
+}
+
+// encodeColumn rank-encodes one column. Codes are dense: NULL=0 and the
+// distinct non-NULL values get 1..k in their natural order.
+func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32, display []string, distinct int, hasNull bool, err error) {
+	type entry struct {
+		s string
+		i int64
+		f float64
+	}
+	seen := make(map[string]entry)
+	for _, s := range raw {
+		if nulls[s] {
+			hasNull = true
+			continue
+		}
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		e := entry{s: s}
+		switch kind {
+		case KindInt:
+			e.i, err = strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, nil, 0, false, fmt.Errorf("value %q does not parse as INTEGER", s)
+			}
+		case KindFloat:
+			e.f, err = strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, 0, false, fmt.Errorf("value %q does not parse as REAL", s)
+			}
+		}
+		seen[s] = e
+	}
+	entries := make([]entry, 0, len(seen))
+	for _, e := range seen {
+		entries = append(entries, e)
+	}
+	switch kind {
+	case KindInt:
+		sort.Slice(entries, func(a, b int) bool {
+			if entries[a].i != entries[b].i {
+				return entries[a].i < entries[b].i
+			}
+			return entries[a].s < entries[b].s
+		})
+	case KindFloat:
+		sort.Slice(entries, func(a, b int) bool {
+			if entries[a].f != entries[b].f {
+				return entries[a].f < entries[b].f
+			}
+			return entries[a].s < entries[b].s
+		})
+	default:
+		sort.Slice(entries, func(a, b int) bool { return entries[a].s < entries[b].s })
+	}
+	// Distinct numeric values can have multiple string spellings ("1" vs
+	// "01", "1.0" vs "1.00"); merge them into one code so that equal values
+	// compare equal.
+	rank := make(map[string]int32, len(entries))
+	display = []string{"NULL"}
+	var next int32 = 0
+	for i, e := range entries {
+		same := false
+		if i > 0 {
+			switch kind {
+			case KindInt:
+				same = e.i == entries[i-1].i
+			case KindFloat:
+				same = e.f == entries[i-1].f
+			default:
+				same = false // distinct strings are distinct values
+			}
+		}
+		if !same {
+			next++
+			display = append(display, e.s)
+		}
+		rank[e.s] = next
+	}
+	distinct = int(next)
+	codes = make([]int32, len(raw))
+	for i, s := range raw {
+		if nulls[s] {
+			codes[i] = NullCode
+			continue
+		}
+		codes[i] = rank[s]
+	}
+	return codes, display, distinct, hasNull, nil
+}
+
+// Project returns a new relation containing only the given columns, in the
+// given order, sharing the underlying code slices. It is the column-sampling
+// primitive of the scalability experiments (Section 5.3.2).
+func (r *Relation) Project(cols []attr.ID) *Relation {
+	out := &Relation{
+		Name:     r.Name,
+		ColNames: make([]string, len(cols)),
+		Kinds:    make([]Kind, len(cols)),
+		Codes:    make([][]int32, len(cols)),
+		display:  make([][]string, len(cols)),
+		distinct: make([]int, len(cols)),
+		hasNull:  make([]bool, len(cols)),
+		rows:     r.rows,
+	}
+	for i, c := range cols {
+		out.ColNames[i] = r.ColNames[c]
+		out.Kinds[i] = r.Kinds[c]
+		out.Codes[i] = r.Codes[c]
+		out.display[i] = r.display[c]
+		out.distinct[i] = r.distinct[c]
+		out.hasNull[i] = r.hasNull[c]
+	}
+	return out
+}
+
+// HeadRows returns a new relation with only the first n rows (all rows when
+// n exceeds the row count). Distinct counts are recomputed.
+func (r *Relation) HeadRows(n int) *Relation {
+	if n > r.rows {
+		n = r.rows
+	}
+	out := &Relation{
+		Name:     r.Name,
+		ColNames: r.ColNames,
+		Kinds:    r.Kinds,
+		Codes:    make([][]int32, r.NumCols()),
+		display:  r.display,
+		distinct: make([]int, r.NumCols()),
+		hasNull:  make([]bool, r.NumCols()),
+		rows:     n,
+	}
+	for c := range r.Codes {
+		out.Codes[c] = r.Codes[c][:n]
+		out.distinct[c], out.hasNull[c] = recount(out.Codes[c])
+	}
+	return out
+}
+
+// SelectRows returns a new relation containing the rows at the given
+// indices, in order. It is the row-sampling primitive of Figure 2.
+func (r *Relation) SelectRows(idx []int) *Relation {
+	out := &Relation{
+		Name:     r.Name,
+		ColNames: r.ColNames,
+		Kinds:    r.Kinds,
+		Codes:    make([][]int32, r.NumCols()),
+		display:  r.display,
+		distinct: make([]int, r.NumCols()),
+		hasNull:  make([]bool, r.NumCols()),
+		rows:     len(idx),
+	}
+	for c := range r.Codes {
+		col := make([]int32, len(idx))
+		src := r.Codes[c]
+		for i, ri := range idx {
+			col[i] = src[ri]
+		}
+		out.Codes[c] = col
+		out.distinct[c], out.hasNull[c] = recount(col)
+	}
+	return out
+}
+
+func recount(codes []int32) (distinct int, hasNull bool) {
+	seen := make(map[int32]struct{}, 16)
+	for _, v := range codes {
+		if v == NullCode {
+			hasNull = true
+			continue
+		}
+		seen[v] = struct{}{}
+	}
+	return len(seen), hasNull
+}
+
+// Row returns the display strings of one tuple, for debugging and examples.
+func (r *Relation) Row(i int) []string {
+	out := make([]string, r.NumCols())
+	for c := range out {
+		out[c] = r.Value(i, attr.ID(c))
+	}
+	return out
+}
+
+// SampleFraction returns a relation with approximately frac·rows rows,
+// chosen uniformly (deterministically from seed) with original order
+// preserved — the random row sampling of the paper's Figure 2 protocol.
+func (r *Relation) SampleFraction(frac float64, seed int64) *Relation {
+	if frac >= 1 {
+		return r.HeadRows(r.rows)
+	}
+	if frac <= 0 {
+		return r.SelectRows(nil)
+	}
+	rng := newSplitMix(uint64(seed))
+	idx := make([]int, 0, int(frac*float64(r.rows))+1)
+	for i := 0; i < r.rows; i++ {
+		if float64(rng.next()>>11)/(1<<53) < frac {
+			idx = append(idx, i)
+		}
+	}
+	return r.SelectRows(idx)
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so sampling does not
+// depend on math/rand's global state or version-specific stream.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (m *splitMix) next() uint64 {
+	m.s += 0x9e3779b97f4a7c15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

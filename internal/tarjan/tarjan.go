@@ -1,0 +1,89 @@
+// Package tarjan implements Tarjan's strongly-connected-components algorithm
+// on small directed graphs. OCDDISCOVER's column-reduction phase (Section
+// 4.1) builds the directed graph of single-attribute order dependencies
+// A → B and collapses each SCC — a class of order-equivalent columns — to a
+// single representative.
+package tarjan
+
+// SCC returns the strongly connected components of the directed graph with n
+// vertices and the given adjacency list. Components are returned in reverse
+// topological order (Tarjan's natural output order); each component lists
+// its vertices in discovery order.
+//
+// The implementation is iterative, so deep graphs cannot overflow the stack.
+func SCC(n int, adj [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack of vertices
+		next    = 0   // next DFS index
+		out     [][]int
+		callVtx []int // explicit DFS call stack: vertex
+		callEi  []int // explicit DFS call stack: next edge offset
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callVtx = append(callVtx[:0], root)
+		callEi = append(callEi[:0], 0)
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callVtx) > 0 {
+			v := callVtx[len(callVtx)-1]
+			ei := callEi[len(callEi)-1]
+			if ei < len(adj[v]) {
+				callEi[len(callEi)-1]++
+				w := adj[v][ei]
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callVtx = append(callVtx, w)
+					callEi = append(callEi, 0)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: pop the call frame, propagate lowlink.
+			callVtx = callVtx[:len(callVtx)-1]
+			callEi = callEi[:len(callEi)-1]
+			if len(callVtx) > 0 {
+				parent := callVtx[len(callVtx)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v roots an SCC: pop the Tarjan stack down to v.
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				// reverse to discovery order for stable output
+				for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+					comp[i], comp[j] = comp[j], comp[i]
+				}
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package tarjan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// normalize sorts vertices within components and components by first vertex.
+func normalize(comps [][]int) [][]int {
+	out := make([][]int, len(comps))
+	for i, c := range comps {
+		cc := append([]int(nil), c...)
+		sort.Ints(cc)
+		out[i] = cc
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := SCC(0, nil); len(got) != 0 {
+		t.Errorf("SCC(0) = %v", got)
+	}
+	got := SCC(1, [][]int{nil})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 0 {
+		t.Errorf("SCC(1) = %v", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	got := SCC(2, [][]int{{0}, nil})
+	if len(got) != 2 {
+		t.Errorf("self loop should not merge: %v", got)
+	}
+}
+
+func TestTwoCycle(t *testing.T) {
+	// 0 ↔ 1, 2 isolated: the order-equivalence pattern of column reduction.
+	got := normalize(SCC(3, [][]int{{1}, {0}, nil}))
+	want := [][]int{{0, 1}, {2}}
+	if len(got) != 2 || len(got[0]) != 2 || got[0][1] != 1 || got[1][0] != 2 {
+		t.Errorf("SCC = %v, want %v", got, want)
+	}
+}
+
+func TestChain(t *testing.T) {
+	// 0 → 1 → 2: three singleton SCCs, reverse topological order means the
+	// sink (2) is emitted before the source (0).
+	got := SCC(3, [][]int{{1}, {2}, nil})
+	if len(got) != 3 {
+		t.Fatalf("SCC = %v", got)
+	}
+	if got[0][0] != 2 || got[2][0] != 0 {
+		t.Errorf("components not in reverse topological order: %v", got)
+	}
+}
+
+func TestBigCycleIterative(t *testing.T) {
+	// A 200k-vertex cycle would overflow a recursive implementation.
+	n := 200000
+	adj := make([][]int, n)
+	for i := range adj {
+		adj[i] = []int{(i + 1) % n}
+	}
+	got := SCC(n, adj)
+	if len(got) != 1 || len(got[0]) != n {
+		t.Fatalf("cycle SCC count = %d", len(got))
+	}
+}
+
+func TestTwoComponents(t *testing.T) {
+	// {0,1,2} cycle and {3,4} cycle connected by 2 → 3.
+	adj := [][]int{{1}, {2}, {0, 3}, {4}, {3}}
+	got := normalize(SCC(5, adj))
+	if len(got) != 2 || len(got[0]) != 3 || len(got[1]) != 2 {
+		t.Errorf("SCC = %v", got)
+	}
+}
+
+// brute reachability-based SCC for cross-checking.
+func bruteSCC(n int, adj [][]int) [][]int {
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		var dfs func(v int)
+		seen := make([]bool, n)
+		dfs = func(v int) {
+			if seen[v] {
+				return
+			}
+			seen[v] = true
+			reach[i][v] = true
+			for _, w := range adj[v] {
+				dfs(w)
+			}
+		}
+		dfs(i)
+	}
+	assigned := make([]bool, n)
+	var comps [][]int
+	for i := 0; i < n; i++ {
+		if assigned[i] {
+			continue
+		}
+		comp := []int{}
+		for j := 0; j < n; j++ {
+			if !assigned[j] && reach[i][j] && reach[j][i] {
+				comp = append(comp, j)
+				assigned[j] = true
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func TestQuickAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if v != w && rng.Float64() < 0.25 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		got := normalize(SCC(n, adj))
+		want := normalize(bruteSCC(n, adj))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v (adj %v)", trial, got, want, adj)
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("trial %d: %v vs %v", trial, got, want)
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: %v vs %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryVertexExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(50)
+		adj := make([][]int, n)
+		for v := range adj {
+			for w := 0; w < n; w++ {
+				if rng.Float64() < 0.1 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		seen := make([]int, n)
+		for _, comp := range SCC(n, adj) {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("vertex %d appears %d times", v, c)
+			}
+		}
+	}
+}

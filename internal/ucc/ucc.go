@@ -1,0 +1,165 @@
+// Package ucc discovers minimal unique column combinations (UCCs): sets of
+// attributes on which no two tuples agree. Section 5.4 of the paper points
+// at UCC detection ("usually performed to find primary key candidates") as
+// the companion signal to entropy when choosing which columns are
+// interesting to profile for ordering; this package provides it over the
+// same stripped-partition substrate as the TANE and FASTOD baselines.
+//
+// X is unique iff its stripped partition is empty (every equivalence class
+// is a singleton, e(π_X) = 0); uniqueness is monotone under supersets, so
+// only minimal UCCs are reported. The search is level-wise bottom-up:
+// non-unique sets are extended by prefix join, unique sets are emitted and
+// pruned, and a candidate is generated only when all its subsets survived —
+// which makes every emitted set minimal by construction.
+package ucc
+
+import (
+	"sort"
+	"time"
+
+	"ocd/internal/attr"
+	"ocd/internal/partition"
+	"ocd/internal/relation"
+)
+
+// Options bound a UCC discovery run.
+type Options struct {
+	// Timeout stops the sweep at a level boundary (0 = none).
+	Timeout time.Duration
+	// MaxSize bounds the size of reported UCCs (0 = no bound).
+	MaxSize int
+}
+
+// Result holds the minimal UCCs and run statistics.
+type Result struct {
+	// UCCs are the minimal unique column combinations, sorted by size and
+	// then by canonical key.
+	UCCs []attr.Set
+	// Checks counts uniqueness tests performed.
+	Checks int64
+	// Truncated marks a run stopped by Timeout or MaxSize.
+	Truncated bool
+}
+
+type node struct {
+	attrs []attr.ID
+	part  *partition.Partition
+}
+
+// Discover returns all minimal UCCs of r. A relation with duplicate full
+// tuples has none.
+func Discover(r *relation.Relation, opts Options) *Result {
+	res := &Result{}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	n := r.NumCols()
+	var level []*node
+	for a := 0; a < n; a++ {
+		id := attr.ID(a)
+		p := partition.Single(r, id)
+		res.Checks++
+		if p.Error() == 0 {
+			res.UCCs = append(res.UCCs, attr.NewSet(id))
+		} else {
+			level = append(level, &node{attrs: []attr.ID{id}, part: p})
+		}
+	}
+
+	size := 1
+	for len(level) > 0 {
+		if expired() || (opts.MaxSize > 0 && size >= opts.MaxSize) {
+			res.Truncated = true
+			break
+		}
+		// prefix join over surviving (non-unique) nodes
+		byKey := make(map[string]bool, len(level))
+		for _, nd := range level {
+			byKey[attr.NewSet(nd.attrs...).Key()] = true
+		}
+		var next []*node
+		for i := 0; i < len(level); i++ {
+			if expired() {
+				res.Truncated = true
+				break
+			}
+			for j := i + 1; j < len(level); j++ {
+				x, y := level[i], level[j]
+				if !samePrefix(x.attrs, y.attrs) {
+					continue
+				}
+				la, lb := x.attrs[len(x.attrs)-1], y.attrs[len(y.attrs)-1]
+				lo, hi := la, lb
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				attrs := append(append([]attr.ID(nil), x.attrs[:len(x.attrs)-1]...), lo, hi)
+				// all subsets must be present (non-unique); otherwise the
+				// candidate contains a smaller UCC and is not minimal
+				ok := true
+				set := attr.NewSet(attrs...)
+				for _, drop := range attrs {
+					sub := set.Clone()
+					sub.Remove(drop)
+					if !byKey[sub.Key()] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				p := x.part.Product(y.part)
+				res.Checks++
+				if p.Error() == 0 {
+					res.UCCs = append(res.UCCs, set)
+				} else {
+					next = append(next, &node{attrs: attrs, part: p})
+				}
+			}
+		}
+		level = next
+		size++
+	}
+
+	sort.Slice(res.UCCs, func(i, j int) bool {
+		if a, b := res.UCCs[i].Len(), res.UCCs[j].Len(); a != b {
+			return a < b
+		}
+		return res.UCCs[i].Key() < res.UCCs[j].Key()
+	})
+	return res
+}
+
+func samePrefix(a, b []attr.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+// InterestingColumns combines the UCC signal with discovery: it returns the
+// attributes participating in small UCCs (candidate keys), which §5.4
+// suggests as the ordering-relevant columns to profile first.
+func InterestingColumns(r *relation.Relation, opts Options) []attr.ID {
+	res := Discover(r, opts)
+	seen := attr.NewSet()
+	var out []attr.ID
+	for _, u := range res.UCCs {
+		for _, a := range u.Slice() {
+			if !seen.Has(a) {
+				seen.Add(a)
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package ucc
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/relation"
+)
+
+func rel(rows [][]int) *relation.Relation {
+	names := make([]string, len(rows[0]))
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return relation.FromInts("t", names, rows)
+}
+
+func TestSingleKeyColumn(t *testing.T) {
+	r := rel([][]int{{1, 5}, {2, 5}, {3, 5}})
+	res := Discover(r, Options{})
+	if len(res.UCCs) != 1 || !res.UCCs[0].Equal(attr.NewSet(0)) {
+		t.Errorf("UCCs = %v", res.UCCs)
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	// Neither A nor B unique; {A,B} is.
+	r := rel([][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	res := Discover(r, Options{})
+	if len(res.UCCs) != 1 || !res.UCCs[0].Equal(attr.NewSet(0, 1)) {
+		t.Errorf("UCCs = %v", res.UCCs)
+	}
+}
+
+func TestDuplicateRowsNoUCC(t *testing.T) {
+	r := rel([][]int{{1, 2}, {1, 2}})
+	res := Discover(r, Options{})
+	if len(res.UCCs) != 0 {
+		t.Errorf("duplicate rows cannot have UCCs: %v", res.UCCs)
+	}
+}
+
+func TestMinimalityNotSupersets(t *testing.T) {
+	// A unique ⟹ {A,B} must not be reported.
+	r := rel([][]int{{1, 7}, {2, 7}, {3, 8}})
+	res := Discover(r, Options{})
+	for _, u := range res.UCCs {
+		if u.Len() > 1 && u.Has(0) {
+			t.Errorf("non-minimal UCC reported: %v", u)
+		}
+	}
+}
+
+// bruteMinimalUCCs enumerates subsets by bitmask.
+func bruteMinimalUCCs(r *relation.Relation, n int) []attr.Set {
+	unique := make([]bool, 1<<n)
+	for m := 1; m < 1<<n; m++ {
+		seen := map[string]bool{}
+		ok := true
+		for row := 0; row < r.NumRows() && ok; row++ {
+			k := ""
+			for b := 0; b < n; b++ {
+				if m&(1<<b) != 0 {
+					k += string(rune(r.Code(row, attr.ID(b)))) + "\x00"
+				}
+			}
+			if seen[k] {
+				ok = false
+			}
+			seen[k] = true
+		}
+		unique[m] = ok
+	}
+	var out []attr.Set
+	for m := 1; m < 1<<n; m++ {
+		if !unique[m] {
+			continue
+		}
+		minimal := true
+		for b := 0; b < n && minimal; b++ {
+			if m&(1<<b) != 0 && unique[m&^(1<<b)] {
+				minimal = false
+			}
+		}
+		if minimal {
+			s := attr.NewSet()
+			for b := 0; b < n; b++ {
+				if m&(1<<b) != 0 {
+					s.Add(attr.ID(b))
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	for trial := 0; trial < 80; trial++ {
+		nr, nc := 1+rng.Intn(14), 2+rng.Intn(4)
+		rows := make([][]int, nr)
+		for i := range rows {
+			rows[i] = make([]int, nc)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(3)
+			}
+		}
+		r := rel(rows)
+		got := Discover(r, Options{}).UCCs
+		want := bruteMinimalUCCs(r, nc)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs brute %v on %v", trial, got, want, rows)
+		}
+		wantKeys := map[string]bool{}
+		for _, u := range want {
+			wantKeys[u.Key()] = true
+		}
+		for _, u := range got {
+			if !wantKeys[u.Key()] {
+				t.Fatalf("trial %d: spurious UCC %v", trial, u)
+			}
+		}
+	}
+}
+
+func TestMaxSizeTruncates(t *testing.T) {
+	r := rel([][]int{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}})
+	res := Discover(r, Options{MaxSize: 1})
+	if !res.Truncated {
+		t.Error("MaxSize should truncate")
+	}
+	for _, u := range res.UCCs {
+		if u.Len() > 1 {
+			t.Error("UCC beyond MaxSize reported")
+		}
+	}
+}
+
+func TestInterestingColumns(t *testing.T) {
+	// A is a key; D is junk that appears in no UCC.
+	r := rel([][]int{{1, 0, 0, 5}, {2, 0, 1, 5}, {3, 1, 0, 5}})
+	cols := InterestingColumns(r, Options{})
+	hasA, hasD := false, false
+	for _, c := range cols {
+		if c == 0 {
+			hasA = true
+		}
+		if c == 3 {
+			hasD = true
+		}
+	}
+	if !hasA {
+		t.Error("key column A should be interesting")
+	}
+	if hasD {
+		t.Error("constant D should not be interesting")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := rel([][]int{{1, 2}, {2, 1}})
+	res := Discover(r, Options{})
+	if res.Checks == 0 {
+		t.Error("Checks not counted")
+	}
+}

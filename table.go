@@ -1,0 +1,188 @@
+package ocd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ocd/internal/attr"
+	"ocd/internal/entropy"
+	"ocd/internal/queryopt"
+	"ocd/internal/relation"
+)
+
+// Table is an immutable, typed, rank-encoded relation instance — the input
+// to discovery. Load one from CSV or build one from rows.
+type Table struct {
+	rel *relation.Relation
+}
+
+// LoadOption customizes parsing and encoding.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	csv relation.CSVOptions
+}
+
+// ForceString disables type inference: every column is ordered
+// lexicographically, the behaviour the paper attributes to FASTOD
+// (Section 5.2.2). By default types are inferred and numeric columns use
+// natural ordering.
+func ForceString() LoadOption {
+	return func(c *loadConfig) { c.csv.ForceString = true }
+}
+
+// NullTokens replaces the default set of raw strings treated as SQL NULL
+// ("", "NULL", "null", "?").
+func NullTokens(tokens ...string) LoadOption {
+	return func(c *loadConfig) { c.csv.NullTokens = tokens }
+}
+
+// Delimiter sets the CSV field separator (default ',').
+func Delimiter(r rune) LoadOption {
+	return func(c *loadConfig) { c.csv.Comma = r }
+}
+
+// NoHeader marks the first CSV record as data; columns are then named
+// A, B, C, … .
+func NoHeader() LoadOption {
+	return func(c *loadConfig) { c.csv.NoHeader = true }
+}
+
+func buildConfig(opts []LoadOption) loadConfig {
+	var c loadConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// LoadCSVFile reads a CSV file into a Table. The first record is the header
+// unless NoHeader is given.
+func LoadCSVFile(path string, opts ...LoadOption) (*Table, error) {
+	c := buildConfig(opts)
+	rel, err := relation.ReadCSVFile(path, c.csv)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// LoadCSV reads CSV data from r into a Table named name.
+func LoadCSV(r io.Reader, name string, opts ...LoadOption) (*Table, error) {
+	c := buildConfig(opts)
+	rel, err := relation.ReadCSV(r, name, c.csv)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// NewTable builds a Table from raw string rows (row-major) with the given
+// column names. Types are inferred per column unless ForceString is given.
+func NewTable(name string, columns []string, rows [][]string, opts ...LoadOption) (*Table, error) {
+	c := buildConfig(opts)
+	rel, err := relation.FromStrings(name, columns, rows, c.csv.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// fromRelation wraps an internal relation; used by the examples, the
+// experiment harness and tests inside this module.
+func fromRelation(rel *relation.Relation) *Table { return &Table{rel: rel} }
+
+// Name returns the table's name (dataset label).
+func (t *Table) Name() string { return t.rel.Name }
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return t.rel.NumCols() }
+
+// Columns returns the column names in schema order.
+func (t *Table) Columns() []string {
+	return append([]string(nil), t.rel.ColNames...)
+}
+
+// ColumnType returns the inferred SQL-ish type name of a column
+// ("INTEGER", "REAL" or "TEXT").
+func (t *Table) ColumnType(column string) (string, error) {
+	id, err := t.colID(column)
+	if err != nil {
+		return "", err
+	}
+	return t.rel.Kinds[id].String(), nil
+}
+
+// Project returns a new Table with only the named columns, in that order.
+func (t *Table) Project(columns ...string) (*Table, error) {
+	ids := make([]attr.ID, len(columns))
+	for i, c := range columns {
+		id, err := t.colID(c)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return &Table{rel: t.rel.Project(ids)}, nil
+}
+
+// Head returns a new Table with only the first n rows.
+func (t *Table) Head(n int) *Table {
+	return &Table{rel: t.rel.HeadRows(n)}
+}
+
+// Entropy returns the value-distribution entropy of a column (Definition
+// 5.1): 0 for constants, log(rows) for keys.
+func (t *Table) Entropy(column string) (float64, error) {
+	id, err := t.colID(column)
+	if err != nil {
+		return 0, err
+	}
+	return entropy.Entropy(t.rel, id), nil
+}
+
+// TopEntropyColumns returns the n most diverse columns, highest entropy
+// first — the paper's Section 5.4 heuristic for choosing which columns to
+// profile when a full run is intractable.
+func (t *Table) TopEntropyColumns(n int) []string {
+	ids := entropy.TopColumns(t.rel, n)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = t.rel.ColName(id)
+	}
+	return out
+}
+
+// SimplifyOrderBy returns the shortest prefix of the given ORDER BY column
+// list that still implies the full ordering on this instance (the §1 query
+// rewrite: income, bracket, tax ⇒ income).
+func (t *Table) SimplifyOrderBy(columns ...string) ([]string, error) {
+	ids := make(attr.List, len(columns))
+	for i, c := range columns {
+		id, err := t.colID(c)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	simplified, _ := queryopt.New(t.rel).Simplify(ids)
+	out := make([]string, len(simplified))
+	for i, id := range simplified {
+		out[i] = t.rel.ColName(id)
+	}
+	return out, nil
+}
+
+func (t *Table) colID(name string) (attr.ID, error) {
+	id, ok := t.rel.ColIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("ocd: table %s has no column %q", t.rel.Name, name)
+	}
+	return id, nil
+}
+
+var errNilTable = errors.New("ocd: nil table")

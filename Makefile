@@ -1,0 +1,24 @@
+# Convenience wrappers around the check gate; scripts/check.sh is the
+# source of truth for what CI runs.
+
+.PHONY: build test race lint fuzz check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	go vet ./...
+	go run ./cmd/ocdlint ./...
+
+fuzz:
+	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
+	go test -run='^$$' -fuzz='^FuzzRankEncode$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
+
+check:
+	scripts/check.sh

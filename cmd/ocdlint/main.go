@@ -1,0 +1,35 @@
+// Command ocdlint runs the repo-specific correctness analyzers over
+// the module:
+//
+//	nopanic      — no panic in library packages; errors instead
+//	atomicfield  — no mixed atomic/plain access to shared counters
+//	listalias    — no aliasing append on attr.List backing arrays
+//	hotloopalloc — no per-iteration allocation in // lint:hot loops
+//
+// Usage:
+//
+//	go run ./cmd/ocdlint ./...
+//
+// Exit status is 0 when the tree is clean, 3 when any analyzer
+// reported a diagnostic, and 1 on a driver error. Suppress a deliberate
+// finding with a "// lint:allow <analyzer>" comment on or above the
+// offending line; see README.md ("Static analysis & CI gate").
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/multichecker"
+
+	"ocd/internal/analysis/atomicfield"
+	"ocd/internal/analysis/hotloopalloc"
+	"ocd/internal/analysis/listalias"
+	"ocd/internal/analysis/nopanic"
+)
+
+func main() {
+	multichecker.Main(
+		nopanic.Analyzer,
+		atomicfield.Analyzer,
+		listalias.Analyzer,
+		hotloopalloc.Analyzer,
+	)
+}

@@ -1,3 +1,13 @@
 module ocd
 
 go 1.23
+
+// The core library (everything outside internal/analysis and
+// cmd/ocdlint) is deliberately stdlib-only; golang.org/x/tools is
+// confined to the static-analysis tooling. The replace directive pins
+// it to the vendored offline shim in third_party/ (this build
+// environment has no module proxy); drop the replace and `go mod tidy`
+// to use the upstream module.
+require golang.org/x/tools v0.24.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

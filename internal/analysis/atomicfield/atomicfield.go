@@ -1,0 +1,176 @@
+// Package atomicfield flags struct fields that are accessed both
+// atomically and with plain reads or writes.
+//
+// The discovery core shares counters like discoverer.generated
+// (atomic.Int64) across the level workers; a single plain access to
+// such a field — or mixing atomic.AddInt64(&s.f, …) with s.f++ —
+// compiles fine and usually even passes tests, but silently drops
+// updates under contention. Two patterns are reported:
+//
+//  1. a field passed to sync/atomic functions somewhere (&s.f in
+//     atomic.AddInt64 etc.) is also read or written plainly;
+//  2. a field whose type lives in sync/atomic (atomic.Int64,
+//     atomic.Bool, …) is copied or read as a value instead of through
+//     its methods.
+//
+// Suppress a deliberate site with // lint:allow atomicfield.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags struct fields accessed both through sync/atomic and with plain reads/writes (suppress with // lint:allow atomicfield)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.ExemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Pass 1 over every file: find fields used through sync/atomic
+	// calls, remembering the selector nodes inside those calls so pass
+	// 2 does not re-flag them.
+	atomicFields := make(map[*types.Var]bool)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass, sel); f != nil {
+					atomicFields[f] = true
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses. Collect first so output order is
+	// positional, not map order.
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			defer func() { stack = append(stack, n) }()
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			if atomicFields[f] && !inAtomicCall[sel] {
+				if !allow.Allows(sel.Pos(), "atomicfield") {
+					findings = append(findings, finding{sel.Pos(),
+						"field " + f.Name() + " is accessed with sync/atomic elsewhere; this plain access is a data race (use the atomic API or // lint:allow atomicfield)"})
+				}
+				return true
+			}
+			if isAtomicType(f.Type()) && !atomicContext(stack) {
+				if !allow.Allows(sel.Pos(), "atomicfield") {
+					findings = append(findings, finding{sel.Pos(),
+						"field " + f.Name() + " has type " + f.Type().String() + " but is copied or read as a plain value; use its Load/Store/Add methods"})
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil, nil
+}
+
+// isAtomicFunc reports whether call invokes a function of sync/atomic
+// (atomic.AddInt64, atomic.LoadUint32, …).
+func isAtomicFunc(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf returns the struct field selected by sel, or nil when sel is
+// not a field selection.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicType reports whether t is a named type declared in
+// sync/atomic (atomic.Int64, atomic.Value, atomic.Pointer[T], …).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicContext reports whether the innermost enclosing nodes make a
+// selector of an atomic-typed field safe: a method call on the field
+// (s.f.Load()) or taking its address (&s.f, including the implicit
+// address of a method call through a pointer receiver).
+func atomicContext(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// s.f.Load — the parent selector resolves to a method; atomic
+		// types export no fields, so any outer selector is safe.
+		return true
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}

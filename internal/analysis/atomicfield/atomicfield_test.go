@@ -1,0 +1,17 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/atomicfield"
+)
+
+func TestMixedAccessFires(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "a")
+}
+
+func TestDisciplinedUseIsSilent(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "b")
+}

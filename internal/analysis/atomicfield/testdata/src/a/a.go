@@ -1,0 +1,54 @@
+// Package a exercises the mixed atomic/plain access patterns.
+package a
+
+import "sync/atomic"
+
+type counterMix struct {
+	n    int64
+	safe int64
+}
+
+func (c *counterMix) IncAtomic() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counterMix) ReadPlain() int64 {
+	return c.n // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counterMix) WritePlain() {
+	c.n = 0 // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counterMix) AllowedPlain() int64 {
+	return c.n // lint:allow atomicfield — single-threaded teardown path
+}
+
+// safe is only ever accessed plainly: no finding.
+func (c *counterMix) PlainOnly() int64 {
+	c.safe++
+	return c.safe
+}
+
+type counterTyped struct {
+	gen atomic.Int64
+}
+
+func (c *counterTyped) Good() int64 {
+	c.gen.Add(1)
+	return c.gen.Load()
+}
+
+func (c *counterTyped) GoodAddr() *atomic.Int64 {
+	return &c.gen
+}
+
+func (c *counterTyped) BadCopy() atomic.Int64 {
+	return c.gen // want "copied or read as a plain value"
+}
+
+func (c *counterTyped) BadAssign() {
+	var snapshot atomic.Int64
+	snapshot = c.gen // want "copied or read as a plain value"
+	_ = snapshot
+}

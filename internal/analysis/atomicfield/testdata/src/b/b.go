@@ -1,0 +1,21 @@
+// Package b is the known-good fixture: disciplined atomic use only.
+package b
+
+import "sync/atomic"
+
+type stats struct {
+	checks atomic.Int64
+	sorts  atomic.Int64
+	legacy int64
+}
+
+func (s *stats) Bump() {
+	s.checks.Add(1)
+	s.sorts.Store(s.sorts.Load() + 1)
+	atomic.AddInt64(&s.legacy, 1)
+	atomic.StoreInt64(&s.legacy, atomic.LoadInt64(&s.legacy))
+}
+
+func (s *stats) Snapshot() (int64, int64, int64) {
+	return s.checks.Load(), s.sorts.Load(), atomic.LoadInt64(&s.legacy)
+}

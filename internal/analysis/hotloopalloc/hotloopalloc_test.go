@@ -1,0 +1,13 @@
+package hotloopalloc_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/hotloopalloc"
+)
+
+func TestHotLoopAllocations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotloopalloc.Analyzer, "a")
+}

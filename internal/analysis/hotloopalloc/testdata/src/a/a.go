@@ -1,0 +1,85 @@
+// Package a exercises the hot-loop allocation patterns.
+package a
+
+import (
+	"fmt"
+	"time"
+)
+
+// HotBad scans rows per candidate.
+// lint:hot
+func HotBad(rows []int, deadline time.Time) int {
+	n := 0
+	for _, r := range rows {
+		if time.Now().After(deadline) { // want `time\.Now inside a loop of hot function HotBad`
+			break
+		}
+		msg := fmt.Sprintf("row %d", r) // want `fmt\.Sprintf inside a loop of hot function HotBad`
+		buf := []int{r, r + 1}          // want "slice literal inside a loop of hot function HotBad"
+		m := map[int]bool{r: true}      // want "map literal inside a loop of hot function HotBad"
+		n += len(msg) + len(buf) + len(m)
+	}
+	return n
+}
+
+// HotCondAndPost allocates in the loop header, which also runs per
+// iteration.
+// lint:hot
+func HotCondAndPost(n int) int {
+	total := 0
+	for i := 0; i < len([]int{n, n}); i++ { // want "slice literal inside a loop of hot function HotCondAndPost"
+		total += i
+	}
+	return total
+}
+
+// HotGood hoists everything out of the loop.
+// lint:hot
+func HotGood(rows []int, deadline time.Time) int {
+	now := time.Now()
+	expired := now.After(deadline)
+	buf := make([]int, 0, len(rows))
+	n := 0
+	for _, r := range rows {
+		if expired {
+			break
+		}
+		buf = append(buf, r)
+		n += r
+	}
+	return n + len(buf)
+}
+
+// HotInitOnly allocates in the for-init clause, which runs once: no
+// finding.
+// lint:hot
+func HotInitOnly(rows []int) int {
+	n := 0
+	for i, seed := 0, []int{1, 2}; i < len(rows); i++ {
+		n += seed[i%2]
+	}
+	return n
+}
+
+// HotAllowed documents a deliberate allocation.
+// lint:hot
+func HotAllowed(rows []int) string {
+	out := ""
+	for _, r := range rows {
+		// lint:allow hotloopalloc — error path, executes at most once
+		out = fmt.Sprintf("%s,%d", out, r)
+	}
+	return out
+}
+
+// ColdLoop has the same body but no marker: the analyzer is opt-in.
+func ColdLoop(rows []int, deadline time.Time) int {
+	n := 0
+	for range rows {
+		if time.Now().After(deadline) {
+			break
+		}
+		n += len(fmt.Sprintf("%d", n)) + len([]int{n}) + len(map[int]bool{n: true})
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+// Package lintutil holds helpers shared by the ocdlint analyzers:
+// suppression comments and package-path classification.
+//
+// A finding is suppressed by a "// lint:allow <check>" comment on the
+// offending line or on the line directly above it, e.g.
+//
+//	panic(err) // lint:allow panic — unreachable: input is validated
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+var allowRe = regexp.MustCompile(`lint:allow\s+([a-z]+)`)
+
+// Allower answers suppression queries for one file.
+type Allower struct {
+	fset *token.FileSet
+	// lines[check] holds the line numbers carrying a lint:allow marker
+	// for that check.
+	lines map[string]map[int]bool
+}
+
+// NewAllower scans the file's comments for lint:allow markers. The file
+// must have been parsed with parser.ParseComments. A marker anywhere in
+// a comment group covers the group's last line, so a multi-line
+// justification above the offending statement still suppresses it.
+func NewAllower(fset *token.FileSet, file *ast.File) *Allower {
+	a := &Allower{fset: fset, lines: make(map[string]map[int]bool)}
+	mark := func(check string, line int) {
+		if a.lines[check] == nil {
+			a.lines[check] = make(map[int]bool)
+		}
+		a.lines[check][line] = true
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
+				mark(m[1], fset.Position(c.Pos()).Line)
+				mark(m[1], fset.Position(cg.End()).Line)
+			}
+		}
+	}
+	return a
+}
+
+// Allows reports whether a finding of the given check at pos is
+// suppressed: a marker sits on the same line or the line above.
+func (a *Allower) Allows(pos token.Pos, check string) bool {
+	ls := a.lines[check]
+	if ls == nil {
+		return false
+	}
+	line := a.fset.Position(pos).Line
+	return ls[line] || ls[line-1]
+}
+
+// ExemptPath reports whether the import path is outside the lint gate:
+// commands, example programs, test fixtures, the synthetic-data
+// generator and vendored third-party code. Library packages (relation,
+// order, core, attr, partition, the root package, …) are all subject.
+func ExemptPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "cmd", "examples", "testdata", "datagen", "third_party":
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file; the gate exempts tests by design.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
+}

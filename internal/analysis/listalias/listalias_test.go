@@ -1,0 +1,19 @@
+package listalias_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/listalias"
+)
+
+func TestAliasingAppendsFire(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), listalias.Analyzer, "a")
+}
+
+func TestHelperPackageIsSilent(t *testing.T) {
+	// The attr fixture itself uses the make-then-self-append idiom
+	// everywhere and must produce no findings.
+	analysistest.Run(t, analysistest.TestData(), listalias.Analyzer, "attr")
+}

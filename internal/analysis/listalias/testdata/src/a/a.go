@@ -1,0 +1,62 @@
+// Package a exercises the aliasing-append patterns on attr.List.
+package a
+
+import "attr"
+
+type pair struct {
+	X, Y attr.List
+}
+
+func BadNewName(l attr.List, a attr.ID) attr.List {
+	left := append(l, a) // want "append result on attr.List l is retained under a new name"
+	return left
+}
+
+func BadVarDecl(l attr.List, a attr.ID) attr.List {
+	var out = append(l, a) // want "append result on attr.List l"
+	return out
+}
+
+func BadReturn(l attr.List, a attr.ID) attr.List {
+	return append(l, a) // want "append result on attr.List l"
+}
+
+func BadField(p pair, a attr.ID) attr.List {
+	ext := append(p.X, a) // want "append result on attr.List p.X"
+	return ext
+}
+
+func BadCrossAssign(p *pair, a attr.ID) {
+	p.Y = append(p.X, a) // want "append result on attr.List p.X"
+}
+
+func GoodSelfAppend(l attr.List, a attr.ID) attr.List {
+	l = append(l, a)
+	return l
+}
+
+func GoodSelfField(p *pair, a attr.ID) {
+	p.X = append(p.X, a)
+}
+
+func GoodHelper(l attr.List, a attr.ID) attr.List {
+	return l.Append(a)
+}
+
+func GoodFreshClone(l attr.List, a attr.ID) attr.List {
+	out := append(l.Clone(), a)
+	return out
+}
+
+func GoodAllowed(l attr.List, a attr.ID) attr.List {
+	// lint:allow listalias — l is function-local and never escapes
+	out := append(l, a)
+	return out
+}
+
+// GoodPlainSlice: append on an unnamed slice of IDs is not an
+// attr.List and stays out of scope.
+func GoodPlainSlice(s []attr.ID, a attr.ID) []attr.ID {
+	out := append(s, a)
+	return out
+}

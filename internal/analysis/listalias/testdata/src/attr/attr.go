@@ -1,0 +1,32 @@
+// Package attr is a miniature of ocd/internal/attr for the listalias
+// fixtures: a named slice type with copying helpers.
+package attr
+
+// ID identifies an attribute.
+type ID int
+
+// List is an ordered attribute list backed by a slice.
+type List []ID
+
+// Append returns l ∘ [a] as a fresh list.
+func (l List) Append(a ID) List {
+	out := make(List, 0, len(l)+1)
+	out = append(out, l...)
+	out = append(out, a)
+	return out
+}
+
+// Concat returns l ∘ m as a fresh list.
+func (l List) Concat(m List) List {
+	out := make(List, 0, len(l)+len(m))
+	out = append(out, l...)
+	out = append(out, m...)
+	return out
+}
+
+// Clone returns a copy of l.
+func (l List) Clone() List {
+	out := make(List, len(l))
+	copy(out, l)
+	return out
+}

@@ -1,0 +1,62 @@
+// Package nopanic forbids panic calls in library packages.
+//
+// OCDDISCOVER is meant to be embedded (the root ocd package is the
+// public API), so library code must surface failures as errors a
+// caller can handle: a panic inside the parallel tree traversal kills
+// every worker and loses the partial Result. Commands, examples and
+// the synthetic-data generator may still panic; a library call site
+// that is genuinely unreachable can be annotated with
+// "// lint:allow panic" plus a justification.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the nopanic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbids panic in library packages; return errors instead (suppress with // lint:allow panic)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.ExemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A local identifier may shadow the builtin.
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true
+				}
+			}
+			if allow.Allows(call.Pos(), "panic") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library package %s: return an error instead, or annotate an unreachable site with // lint:allow panic",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

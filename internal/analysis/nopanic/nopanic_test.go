@@ -1,0 +1,21 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/nopanic"
+)
+
+func TestLibraryPackageFires(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nopanic.Analyzer, "a")
+}
+
+func TestCommandPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nopanic.Analyzer, "cmd/tool")
+}
+
+func TestDatagenPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nopanic.Analyzer, "datagen")
+}

@@ -1,0 +1,45 @@
+// Package a is a library-package fixture: panics must be flagged
+// unless annotated.
+package a
+
+import "errors"
+
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library package a"
+	}
+	return n * 2
+}
+
+func BadIndirect() {
+	defer func() { recover() }()
+	panic(errors.New("boom")) // want "panic in library package a"
+}
+
+func GoodAnnotatedSameLine(n int) int {
+	if n < 0 {
+		panic("unreachable") // lint:allow panic — callers validate n
+	}
+	return n
+}
+
+func GoodAnnotatedLineAbove(n int) int {
+	if n < 0 {
+		// lint:allow panic — callers validate n
+		panic("unreachable")
+	}
+	return n
+}
+
+func GoodError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n * 2, nil
+}
+
+// GoodShadowed calls a local function named panic, not the builtin.
+func GoodShadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

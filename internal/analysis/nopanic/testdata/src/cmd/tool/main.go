@@ -1,0 +1,7 @@
+// Command tool is a fixture for the cmd/* allowlist: commands may
+// panic freely.
+package main
+
+func main() {
+	panic("commands may panic")
+}

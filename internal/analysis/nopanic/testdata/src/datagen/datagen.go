@@ -1,0 +1,9 @@
+// Package datagen is a fixture for the datagen allowlist: the
+// synthetic-data generator panics on its own static data.
+package datagen
+
+func MustBuild(ok bool) {
+	if !ok {
+		panic("static data cannot fail")
+	}
+}

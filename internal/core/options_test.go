@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ocd/internal/order"
+)
+
+// TestOptionsWorkersNormalization pins the Workers contract: values
+// below 1 resolve to runtime.GOMAXPROCS(0).
+func TestOptionsWorkersNormalization(t *testing.T) {
+	if got := (Options{Workers: 0}).workers(); got != 0 {
+		t.Errorf("Workers 0 should defer resolution, got %d", got)
+	}
+	if got := (Options{Workers: -3}).workers(); got != 0 {
+		t.Errorf("Workers -3 should defer resolution, got %d", got)
+	}
+	if got := (Options{Workers: 5}).workers(); got != 5 {
+		t.Errorf("Workers 5 should pass through, got %d", got)
+	}
+	r := seededRelation(t, 3, 20, 3)
+	for _, w := range []int{0, -1} {
+		d := newDiscoverer(r, Options{Workers: w})
+		if d.workers != runtime.GOMAXPROCS(0) {
+			t.Errorf("Workers %d should resolve to GOMAXPROCS (%d), got %d",
+				w, runtime.GOMAXPROCS(0), d.workers)
+		}
+	}
+	d := newDiscoverer(r, Options{Workers: 2})
+	if d.workers != 2 {
+		t.Errorf("Workers 2 should stick, got %d", d.workers)
+	}
+}
+
+// TestOptionsIndexCacheDefault pins the IndexCacheSize contract: zero
+// selects a real cache (repeated sorts of one list hit it), an explicit
+// negative value disables caching.
+func TestOptionsIndexCacheDefault(t *testing.T) {
+	r := seededRelation(t, 4, 30, 3)
+
+	d := newDiscoverer(r, Options{})
+	chk, ok := d.chk.(*order.Checker)
+	if !ok {
+		t.Fatalf("default backend should be *order.Checker, got %T", d.chk)
+	}
+	x := ids(1, 2)
+	chk.SortedIndex(x)
+	chk.SortedIndex(x)
+	if got := chk.Sorts(); got != 1 {
+		t.Errorf("IndexCacheSize 0 should default to a working cache: %d sorts for 2 lookups", got)
+	}
+
+	d = newDiscoverer(r, Options{IndexCacheSize: -1})
+	chk = d.chk.(*order.Checker)
+	chk.SortedIndex(x)
+	chk.SortedIndex(x)
+	if got := chk.Sorts(); got != 2 {
+		t.Errorf("negative IndexCacheSize should disable caching: %d sorts for 2 lookups", got)
+	}
+}
+
+// TestOptionsTimeoutExpiry drives a run whose deadline is already in
+// the past: the traversal must stop at the level boundary, mark the
+// result truncated, and still return the reduction-phase output in
+// canonical, sound form.
+func TestOptionsTimeoutExpiry(t *testing.T) {
+	r := seededRelation(t, 5, 120, 6)
+	res := Discover(r, Options{Workers: 4, Timeout: time.Nanosecond})
+	if !res.Stats.Truncated {
+		t.Fatal("expired deadline must mark the result truncated")
+	}
+	if res.Stats.Levels != 0 {
+		t.Errorf("no level should complete under an expired deadline, got %d", res.Stats.Levels)
+	}
+	if res.Stats.Candidates == 0 {
+		t.Error("initial candidates should still be counted")
+	}
+	if len(res.Constants) == 0 {
+		t.Error("reduction phase should still report the constant column")
+	}
+	if len(res.EquivClasses) == 0 {
+		t.Error("reduction phase should still report the order-equivalence class")
+	}
+	assertWellFormed(t, r, res)
+}

@@ -103,6 +103,9 @@ func Dataset(name string, s Scale) *relation.Relation {
 	case "NUMBERS":
 		return datagen.Numbers()
 	default:
+		// lint:allow panic — registry of a fixed dataset list; an unknown
+		// name is a programming error and TestDatasetUnknownPanics pins
+		// this behaviour.
 		panic("experiments: unknown dataset " + name)
 	}
 }

@@ -154,6 +154,8 @@ func (c *Checker) SortedIndex(x attr.List) []int32 {
 	return idx
 }
 
+// buildIndex is generateIndex of Algorithm 2: a fresh sorted index over x.
+// lint:hot
 func (c *Checker) buildIndex(x attr.List) []int32 {
 	c.sorts.Add(1)
 	if c.useRadix(x) {
@@ -194,6 +196,7 @@ func sortIdxByCols(idx []int32, cols [][]int32) {
 // concatenation XY makes splits impossible (ties on XY are ties on YX), so
 // the scan only looks for swaps and exits early on the first one, exactly as
 // Algorithm 2 does.
+// lint:hot
 func (c *Checker) CheckOCD(x, y attr.List) bool {
 	c.checks.Add(1)
 	lhs := x.Concat(y)
@@ -217,6 +220,7 @@ func (c *Checker) CheckOCD(x, y attr.List) bool {
 
 // CheckOD reports whether the order dependency X → Y holds, with early exit
 // on the first violation of either kind.
+// lint:hot
 func (c *Checker) CheckOD(x, y attr.List) bool {
 	c.checks.Add(1)
 	idx := c.SortedIndex(x.Concat(y))

@@ -53,6 +53,7 @@ func Base(numRows int) *SortedPartition {
 // Extend derives the sorted partition of list∘[a] from the partition of
 // list: each class is stably counting-sorted by a's codes and split at code
 // changes.
+// lint:hot
 func (sp *SortedPartition) Extend(r *relation.Relation, a attr.ID) *SortedPartition {
 	codes := r.Col(a)
 	out := &SortedPartition{
@@ -199,6 +200,7 @@ func (c *PartitionChecker) put(key string, sp *SortedPartition) {
 // CheckOD reports whether X → Y holds, scanning X's sorted partition: rows
 // inside one class must agree on Y, and Y must never decrease across the
 // class sequence.
+// lint:hot
 func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
 	c.checks.Add(1)
 	sp := c.Partition(x)
@@ -231,6 +233,7 @@ func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
 // the sorted partition of XY, the projection on YX must be non-decreasing.
 // Splits cannot occur (classes of XY agree on Y and X), so only the
 // cross-class scan is needed.
+// lint:hot
 func (c *PartitionChecker) CheckOCD(x, y attr.List) bool {
 	c.checks.Add(1)
 	sp := c.Partition(x.Concat(y))

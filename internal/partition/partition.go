@@ -99,6 +99,7 @@ func (p *Partition) Error() int { return p.Size() - p.NumClasses() }
 
 // Product computes the stripped partition π_X · π_Y = π_{X∪Y} using the
 // linear-time probe-table algorithm of TANE.
+// lint:hot
 func (p *Partition) Product(q *Partition) *Partition {
 	out := &Partition{NumRows: p.NumRows}
 	// probe[row] = index of the p-class containing row, or -1.

@@ -12,6 +12,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 
@@ -205,12 +206,13 @@ func FromStrings(name string, colNames []string, rows [][]string, opts Options) 
 	return r, nil
 }
 
-// FromInts builds a relation directly from integer data (row-major), a
-// convenience for tests and synthetic datasets. Column names default to
-// "A", "B", … when nil.
-func FromInts(name string, colNames []string, rows [][]int) *Relation {
+// FromIntsErr builds a relation directly from integer data (row-major),
+// a convenience for synthetic datasets. Column names default to
+// "A", "B", … when nil. It reports an error for ragged rows or an empty
+// relation without a schema.
+func FromIntsErr(name string, colNames []string, rows [][]int) (*Relation, error) {
 	if len(rows) == 0 && colNames == nil {
-		panic("relation.FromInts: need column names for an empty relation")
+		return nil, fmt.Errorf("relation %s: need column names for an empty relation", name)
 	}
 	nc := 0
 	if len(rows) > 0 {
@@ -227,7 +229,7 @@ func FromInts(name string, colNames []string, rows [][]int) *Relation {
 	raw := make([][]string, len(rows))
 	for i, row := range rows {
 		if len(row) != nc {
-			panic(fmt.Sprintf("relation.FromInts: row %d has %d fields, want %d", i, len(row), nc))
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(row), nc)
 		}
 		sr := make([]string, nc)
 		for j, v := range row {
@@ -235,9 +237,18 @@ func FromInts(name string, colNames []string, rows [][]int) *Relation {
 		}
 		raw[i] = sr
 	}
-	r, err := FromStrings(name, colNames, raw, Options{})
+	return FromStrings(name, colNames, raw, Options{})
+}
+
+// FromInts is the panicking form of FromIntsErr, kept as a terse
+// constructor for tests and the synthetic-data generators where
+// malformed input is a programming error.
+func FromInts(name string, colNames []string, rows [][]int) *Relation {
+	r, err := FromIntsErr(name, colNames, rows)
 	if err != nil {
-		panic(err) // unreachable: integer input always parses
+		// lint:allow panic — convenience wrapper; FromIntsErr is the
+		// error-returning library API.
+		panic(err)
 	}
 	return r
 }
@@ -253,6 +264,28 @@ func defaultColName(i int) string {
 		}
 	}
 	return name
+}
+
+// cmpFloat orders float64 values totally: NaN sorts first and all NaNs
+// compare equal. ParseFloat accepts "NaN", so without a total order the
+// sort comparator would be inconsistent and rank codes would depend on
+// map iteration order — the same CSV would encode differently across
+// runs (found by FuzzRankEncode).
+func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
 }
 
 // inferKind picks the narrowest kind that parses every non-NULL value:
@@ -331,8 +364,8 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32
 		})
 	case KindFloat:
 		sort.Slice(entries, func(a, b int) bool {
-			if entries[a].f != entries[b].f {
-				return entries[a].f < entries[b].f
+			if c := cmpFloat(entries[a].f, entries[b].f); c != 0 {
+				return c < 0
 			}
 			return entries[a].s < entries[b].s
 		})
@@ -352,7 +385,7 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32
 			case KindInt:
 				same = e.i == entries[i-1].i
 			case KindFloat:
-				same = e.f == entries[i-1].f
+				same = cmpFloat(e.f, entries[i-1].f) == 0
 			default:
 				same = false // distinct strings are distinct values
 			}

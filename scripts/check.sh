@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# check.sh — the full correctness gate for the OCD repo.
+#
+# Runs, in order:
+#   1. go build ./...            compile everything, including cmd/
+#   2. go vet ./...              stdlib static checks
+#   3. ocdlint                   the repo's own go/analysis suite
+#                                (nopanic, atomicfield, listalias,
+#                                hotloopalloc; see cmd/ocdlint)
+#   4. go test -race ./...       unit + integration tests under the
+#                                race detector (the parallel traversal
+#                                must stay race-clean)
+#   5. fuzz smokes               FuzzCSVParse and FuzzRankEncode for
+#                                FUZZTIME each (default 10s)
+#
+# Usage:
+#   scripts/check.sh             full gate
+#   FUZZTIME=30s scripts/check.sh
+#   FUZZTIME=0 scripts/check.sh  skip the fuzz smokes (corpus seeds
+#                                still run as regular tests in step 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "go build ./..."
+go build ./...
+
+step "go vet ./..."
+go vet ./...
+
+step "ocdlint ./..."
+go run ./cmd/ocdlint ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+    for target in FuzzCSVParse FuzzRankEncode; do
+        step "fuzz $target ($FUZZTIME)"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" ./internal/relation/
+    done
+fi
+
+step "all checks passed"

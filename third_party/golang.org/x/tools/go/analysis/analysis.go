@@ -1,0 +1,123 @@
+// Package analysis defines the interface between a modular static
+// analysis and an analysis driver program.
+//
+// This is an offline API-compatible subset of the upstream
+// golang.org/x/tools/go/analysis package; see the module README for
+// what is and is not implemented.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes an analysis function and its options.
+type Analyzer struct {
+	// Name of the analyzer; a valid Go identifier. It appears in
+	// diagnostic output so users can tell which check fired.
+	Name string
+
+	// Doc is the documentation for the analyzer. The first sentence is
+	// used as a summary by drivers.
+	Doc string
+
+	// URL holds an optional link to the analyzer's documentation.
+	URL string
+
+	// Flags defines any flags accepted by the analyzer. Drivers may
+	// expose them on the command line; this shim registers but does not
+	// namespace them.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a package. It returns an error if the
+	// analyzer failed (distinct from reporting diagnostics).
+	Run func(*Pass) (interface{}, error)
+
+	// RunDespiteErrors allows the driver to invoke the analyzer even on
+	// a package that contains type errors.
+	RunDespiteErrors bool
+
+	// Requires lists analyzers whose results this one needs. The shim
+	// driver does not execute requirements; analyzers here walk the AST
+	// directly. The field exists for source compatibility.
+	Requires []*Analyzer
+
+	// ResultType is the type of this analyzer's result, if any.
+	ResultType interface{}
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides information to an Analyzer's Run function about the
+// single package being analyzed, and operations for reporting
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	OtherFiles []string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	TypesSizes types.Sizes
+
+	// Report emits a diagnostic about a problem in the package. Set by
+	// the driver.
+	Report func(Diagnostic)
+
+	// ResultOf holds the results of required analyzers. Always empty in
+	// this shim (requirements are not executed).
+	ResultOf map[*Analyzer]interface{}
+}
+
+// Reportf is a helper that reports a Diagnostic with the given printf-style
+// message at the given position.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a Diagnostic spanning rng with a printf-style message.
+func (pass *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+func (pass *Pass) String() string {
+	return fmt.Sprintf("%s@%s", pass.Analyzer.Name, pass.Pkg.Path())
+}
+
+// A Range describes a span of positions.
+type Range interface {
+	Pos() token.Pos
+	End() token.Pos
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+
+	// SuggestedFixes is accepted for API compatibility but not applied
+	// by the shim driver.
+	SuggestedFixes []SuggestedFix
+
+	// URL holds an optional link to documentation for this diagnostic.
+	URL string
+}
+
+// A SuggestedFix is a code change that resolves a Diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the text at [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

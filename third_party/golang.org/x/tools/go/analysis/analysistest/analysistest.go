@@ -1,0 +1,299 @@
+// Package analysistest provides utilities for testing analyzers.
+//
+// Offline shim of the upstream package: fixture packages live under
+// dir/src/<importpath>/ and carry expectations as "// want" comments:
+//
+//	bad() // want "regexp matching the diagnostic"
+//
+// Multiple expectations may follow one want keyword, each in double
+// quotes or backquotes. A diagnostic matches an expectation when they
+// agree on file and line and the regexp matches the message.
+//
+// Fixture packages may import each other (resolved from dir/src) and
+// the standard library (resolved through `go list -export`, no network
+// needed).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/internal/goloader"
+)
+
+// TestData returns the effective filename of the program's
+// "testdata" directory.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// A Result holds the result of applying an analyzer to a package.
+type Result struct {
+	Pass        *analysis.Pass
+	Diagnostics []analysis.Diagnostic
+	Err         error
+}
+
+// Run applies an analysis to the packages denoted by the patterns
+// (import paths relative to dir/src) and checks that each reported
+// diagnostic matches a // want comment and vice versa.
+func Run(t testing.TB, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	r := &runner{
+		srcdir: filepath.Join(dir, "src"),
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*fixturePkg),
+	}
+	var results []*Result
+	for _, pat := range patterns {
+		res := r.runOne(t, a, pat)
+		if res != nil {
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type runner struct {
+	srcdir  string
+	fset    *token.FileSet
+	loaded  map[string]*fixturePkg
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (r *runner) runOne(t testing.TB, a *analysis.Analyzer, pattern string) *Result {
+	fp, err := r.load(pattern)
+	if err != nil {
+		t.Errorf("loading fixture %q: %v", pattern, err)
+		return nil
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      r.fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		ResultOf:  make(map[*analysis.Analyzer]interface{}),
+	}
+	var diags []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	_, err = a.Run(pass)
+	if err != nil {
+		t.Errorf("analyzer %s failed on %q: %v", a.Name, pattern, err)
+		return &Result{Pass: pass, Err: err}
+	}
+
+	r.check(t, a, fp, diags)
+	return &Result{Pass: pass, Diagnostics: diags}
+}
+
+// load parses and type-checks the fixture package at srcdir/path,
+// memoized so fixtures can import one another.
+func (r *runner) load(path string) (*fixturePkg, error) {
+	if fp, ok := r.loaded[path]; ok {
+		return fp, nil
+	}
+	pkgdir := filepath.Join(r.srcdir, path)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		return r.importPkg(ipath)
+	})}
+	pkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	r.loaded[path] = fp
+	return fp, nil
+}
+
+// importPkg resolves an import of a fixture package: sibling fixtures
+// first, then the standard library via gc export data.
+func (r *runner) importPkg(ipath string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(r.srcdir, ipath)); err == nil && st.IsDir() {
+		fp, err := r.load(ipath)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	if r.gc == nil {
+		r.exports = make(map[string]string)
+		r.gc = importer.ForCompiler(r.fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, ok := r.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(f)
+		})
+	}
+	if _, ok := r.exports[ipath]; !ok {
+		m, err := goloader.ListExportData("", ipath)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			r.exports[k] = v
+		}
+	}
+	return r.gc.Import(ipath)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one // want entry.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+func (r *runner) check(t testing.TB, a *analysis.Analyzer, fp *fixturePkg, diags []analysis.Diagnostic) {
+	var wants []*expectation
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				rxs, err := parseWants(text[len("want "):])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, rx := range rxs {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := r.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic from %s: %s", pos, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported by %s", w.file, w.line, w.rx, a.Name)
+		}
+	}
+}
+
+// parseWants extracts the sequence of quoted or backquoted regexps
+// following the want keyword.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			var err error
+			raw, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			raw = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want operand must be quoted: %q", s)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rx)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no operands")
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package multichecker defines the main function for an analysis
+// driver with several analyzers.
+//
+// Offline shim: loads packages with the goloader (go list -export +
+// gc importer) instead of go/packages. Exit status is 0 when no
+// diagnostics were reported, 1 on driver error, and 3 when diagnostics
+// were reported, matching the upstream checker's convention.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/internal/goloader"
+)
+
+// Main is the main function for a multi-analyzer driver. It parses
+// command-line package patterns (default "./...") and never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [packages...]\n\nRegistered analyzers:\n", os.Args[0])
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, firstSentence(a.Doc))
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(Run(os.Stdout, patterns, analyzers))
+}
+
+// Run loads the packages matching patterns and applies every analyzer,
+// printing diagnostics to w. It returns the process exit code.
+func Run(w *os.File, patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := goloader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocdlint:", err)
+		return 1
+	}
+
+	type diag struct {
+		pos  token.Position
+		msg  string
+		name string
+	}
+	var diags []diag
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Syntax,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				TypesSizes: pkg.TypesSizes,
+				ResultOf:   make(map[*analysis.Analyzer]interface{}),
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message, name: a.Name})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "ocdlint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 1
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.msg < b.msg
+	})
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.name)
+	}
+	if len(diags) > 0 {
+		return 3
+	}
+	return 0
+}
+
+func firstSentence(doc string) string {
+	for i, r := range doc {
+		if r == '.' || r == '\n' {
+			return doc[:i]
+		}
+	}
+	return doc
+}

@@ -1,0 +1,217 @@
+// Package goloader loads and type-checks Go packages without network
+// access or external dependencies.
+//
+// It shells out to `go list -export -deps -json`, which compiles every
+// listed package and reports the path of its export data, then parses
+// the target packages from source and type-checks them with the
+// standard library's gc export-data importer resolving imports. This
+// mirrors what golang.org/x/tools/go/packages does in LoadAllSyntax
+// mode for the root packages, at a fraction of the machinery.
+package goloader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	TypesSizes types.Sizes
+
+	// TypeErrors holds type-checker errors, non-empty only when the
+	// package failed to type-check (normally impossible: `go list
+	// -export` refuses to emit broken packages).
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Load lists the given patterns in dir (the module root or any package
+// directory; "" means the current directory) and returns the matched
+// packages parsed from source and fully type-checked.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var roots []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			roots = append(roots, lp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	sizes := types.SizesFor("gc", buildGOARCH(dir))
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which goloader does not support", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, sizes, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, sizes types.Sizes, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for _, f := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, f)
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, af)
+		names = append(names, path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		GoFiles:    names,
+		Fset:       fset,
+		Syntax:     files,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	pkg.Types = tpkg
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("type-check %s: %v", lp.ImportPath, pkg.TypeErrors[0])
+	}
+	return pkg, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// buildGOARCH asks the go tool for the effective GOARCH so type sizes
+// match the build configuration.
+func buildGOARCH(dir string) string {
+	cmd := exec.Command("go", "env", "GOARCH")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "amd64"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// ListExportData exposes the export-data map for a set of import-path
+// patterns, used by analysistest to resolve standard-library imports of
+// fixture packages.
+func ListExportData(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint fuzz check
+.PHONY: build test race lint lint-json fuzz check
 
 build:
 	go build ./...
@@ -12,9 +12,15 @@ test:
 race:
 	go test -race ./...
 
+# lint runs go vet plus the full seven-analyzer ocdlint suite
+# (docs/LINTING.md); lint-json emits the findings as a JSON array for
+# machine consumption.
 lint:
 	go vet ./...
 	go run ./cmd/ocdlint ./...
+
+lint-json:
+	go run ./cmd/ocdlint -json ./...
 
 fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/

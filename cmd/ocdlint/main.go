@@ -5,31 +5,51 @@
 //	atomicfield  — no mixed atomic/plain access to shared counters
 //	listalias    — no aliasing append on attr.List backing arrays
 //	hotloopalloc — no per-iteration allocation in // lint:hot loops
+//	lockbalance  — mutexes released on every CFG path; nothing
+//	               blocking or expensive inside a critical section
+//	wgcheck      — WaitGroup protocol: Add before go, Done on every
+//	               goroutine exit path, no Wait inside the goroutine
+//	errdrop      — module-local error results must be checked on
+//	               every path, not discarded
 //
 // Usage:
 //
-//	go run ./cmd/ocdlint ./...
+//	go run ./cmd/ocdlint [-json] ./...
 //
 // Exit status is 0 when the tree is clean, 3 when any analyzer
-// reported a diagnostic, and 1 on a driver error. Suppress a deliberate
-// finding with a "// lint:allow <analyzer>" comment on or above the
-// offending line; see README.md ("Static analysis & CI gate").
+// reported a diagnostic, and 1 on a driver error. With -json the
+// diagnostics are emitted as a JSON array (see docs/LINTING.md for the
+// schema and the CI annotation pipeline). Suppress a deliberate
+// finding with a "// lint:allow <analyzer>" comment — several checks
+// may share one marker, comma-separated — on or above the offending
+// line; see docs/LINTING.md.
 package main
 
 import (
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/multichecker"
 
 	"ocd/internal/analysis/atomicfield"
+	"ocd/internal/analysis/errdrop"
 	"ocd/internal/analysis/hotloopalloc"
 	"ocd/internal/analysis/listalias"
+	"ocd/internal/analysis/lockbalance"
 	"ocd/internal/analysis/nopanic"
+	"ocd/internal/analysis/wgcheck"
 )
 
+// analyzers is the full suite, in the order findings are documented in
+// docs/LINTING.md.
+var analyzers = []*analysis.Analyzer{
+	nopanic.Analyzer,
+	atomicfield.Analyzer,
+	listalias.Analyzer,
+	hotloopalloc.Analyzer,
+	lockbalance.Analyzer,
+	wgcheck.Analyzer,
+	errdrop.Analyzer,
+}
+
 func main() {
-	multichecker.Main(
-		nopanic.Analyzer,
-		atomicfield.Analyzer,
-		listalias.Analyzer,
-		hotloopalloc.Analyzer,
-	)
+	multichecker.Main(analyzers...)
 }

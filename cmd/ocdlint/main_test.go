@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/multichecker"
+)
+
+// cleanPkg is a small, dependency-light package of the module that the
+// full suite reports nothing on; loading it exercises the whole
+// driver pipeline (go list -export, gc importer, analyzer passes).
+const cleanPkg = "ocd/internal/analysis/lintutil"
+
+func TestJSONOutputCleanTree(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(&buf, []string{cleanPkg}, analyzers, true)
+	if code != 0 {
+		t.Fatalf("exit code = %d on a clean package, want 0\noutput:\n%s", code, buf.String())
+	}
+	var diags []multichecker.JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a valid JSON array: %v\noutput:\n%s", err, buf.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected an empty diagnostics array, got %d entries", len(diags))
+	}
+}
+
+func TestJSONOutputWithFindings(t *testing.T) {
+	// A synthetic analyzer reporting one finding per package pins down
+	// the JSON schema and the findings exit code without depending on a
+	// deliberately broken fixture package.
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "reports the package clause of every file",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				pass.Report(analysis.Diagnostic{Pos: f.Package, Message: "package clause here"})
+			}
+			return nil, nil
+		},
+	}
+	var buf bytes.Buffer
+	code := multichecker.Run(&buf, []string{cleanPkg}, []*analysis.Analyzer{noisy}, true)
+	if code != 3 {
+		t.Fatalf("exit code = %d with findings, want 3", code)
+	}
+	var diags []multichecker.JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\noutput:\n%s", err, buf.String())
+	}
+	if len(diags) == 0 {
+		t.Fatalf("expected diagnostics in JSON output")
+	}
+	d := diags[0]
+	if d.Analyzer != "noisy" || d.Message != "package clause here" {
+		t.Errorf("diagnostic fields wrong: %+v", d)
+	}
+	if d.File == "" || d.Line <= 0 || d.Col <= 0 {
+		t.Errorf("position fields must be populated: %+v", d)
+	}
+	if !strings.HasSuffix(d.Posn, ":"+strconv.Itoa(d.Line)+":"+strconv.Itoa(d.Col)) {
+		t.Errorf("posn %q does not match line %d col %d", d.Posn, d.Line, d.Col)
+	}
+}
+
+func TestTextOutputWithFindings(t *testing.T) {
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "reports the package clause of every file",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				pass.Report(analysis.Diagnostic{Pos: f.Package, Message: "package clause here"})
+			}
+			return nil, nil
+		},
+	}
+	var buf bytes.Buffer
+	code := multichecker.Run(&buf, []string{cleanPkg}, []*analysis.Analyzer{noisy}, false)
+	if code != 3 {
+		t.Fatalf("exit code = %d with findings, want 3", code)
+	}
+	if !strings.Contains(buf.String(), "package clause here (noisy)") {
+		t.Errorf("text output missing expected line:\n%s", buf.String())
+	}
+}

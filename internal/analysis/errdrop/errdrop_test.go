@@ -1,0 +1,13 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer, "a")
+}

@@ -1,0 +1,126 @@
+// Package a exercises the dropped-error dataflow patterns. The
+// fixture package path is "a", so its own functions count as
+// module-local while stdlib calls do not.
+package a
+
+import (
+	"fmt"
+	"os"
+)
+
+func work() error            { return nil }
+func compute() (int, error)  { return 0, nil }
+func sink(err error)         { _ = err }
+func wrap(err error) error   { return fmt.Errorf("wrapped: %w", err) }
+
+// Dropped ignores the error of a bare call statement.
+func Dropped() {
+	work() // want `error result of work is dropped`
+}
+
+// Discarded assigns the error to the blank identifier.
+func Discarded() int {
+	v, _ := compute() // want `error result of compute is discarded`
+	return v
+}
+
+// DiscardedParallel binds two calls in one assignment; only the second
+// error is blanked.
+func DiscardedParallel() error {
+	a, _ := work(), work() // want `error result of work is discarded`
+	return a
+}
+
+// UncheckedOnPath checks err on the happy path but leaks it through
+// the early return.
+func UncheckedOnPath(b bool) error {
+	v, err := compute() // want `error result of compute may be ignored`
+	if b {
+		return nil
+	}
+	_ = v
+	return err
+}
+
+// Clobbered overwrites err before anything reads it.
+func Clobbered() error {
+	err := work() // want `error result of work may be ignored`
+	err = work()
+	return err
+}
+
+// CheckedInline is the idiomatic guard: no finding.
+func CheckedInline() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CheckedLate reads the error on every path, even though other work
+// happens in between.
+func CheckedLate() (int, error) {
+	v, err := compute()
+	v *= 2
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// CheckedInSwitch reads the error in a switch case expression.
+func CheckedInSwitch() int {
+	_, err := compute()
+	switch {
+	case err != nil:
+		return -1
+	}
+	return 0
+}
+
+// CheckedViaWrap consumes the old value while reassigning.
+func CheckedViaWrap() error {
+	err := work()
+	err = wrap(err)
+	return err
+}
+
+// CheckedInLoop reads the error inside the loop that assigns it.
+func CheckedInLoop(n int) error {
+	for i := 0; i < n; i++ {
+		if err := work(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CapturedByClosure counts a closure capture as a read.
+func CapturedByClosure() func() error {
+	err := work()
+	return func() error { return err }
+}
+
+// PassedOn forwards the error to another function: a read.
+func PassedOn() {
+	err := work()
+	sink(err)
+}
+
+// StdlibIgnored drops a non-module error: stdlib conventions are out
+// of scope, no finding.
+func StdlibIgnored() {
+	fmt.Println("x")
+	f, _ := os.Open("nope")
+	_ = f
+}
+
+// Propagated returns the call directly: no binding, no finding.
+func Propagated() error {
+	return work()
+}
+
+// AllowedDrop documents a deliberate best-effort call.
+func AllowedDrop() {
+	work() // lint:allow errdrop — best-effort cache warm-up
+}

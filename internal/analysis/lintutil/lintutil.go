@@ -5,6 +5,13 @@
 // offending line or on the line directly above it, e.g.
 //
 //	panic(err) // lint:allow panic — unreachable: input is validated
+//
+// One marker may name several checks, comma-separated:
+//
+//	ch <- out // lint:allow lockbalance,errdrop — bounded buffer, see doc
+//
+// Check names are lower-case identifiers that may contain digits after
+// the first letter (e.g. a future "sa1000"-style name).
 package lintutil
 
 import (
@@ -14,7 +21,7 @@ import (
 	"strings"
 )
 
-var allowRe = regexp.MustCompile(`lint:allow\s+([a-z]+)`)
+var allowRe = regexp.MustCompile(`lint:allow\s+([a-z][a-z0-9]*(?:[ \t]*,[ \t]*[a-z][a-z0-9]*)*)`)
 
 // Allower answers suppression queries for one file.
 type Allower struct {
@@ -39,8 +46,11 @@ func NewAllower(fset *token.FileSet, file *ast.File) *Allower {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
-				mark(m[1], fset.Position(c.Pos()).Line)
-				mark(m[1], fset.Position(cg.End()).Line)
+				for _, check := range strings.Split(m[1], ",") {
+					check = strings.TrimSpace(check)
+					mark(check, fset.Position(c.Pos()).Line)
+					mark(check, fset.Position(cg.End()).Line)
+				}
 			}
 		}
 	}

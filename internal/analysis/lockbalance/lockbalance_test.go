@@ -1,0 +1,13 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/lockbalance"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockbalance.Analyzer, "a")
+}

@@ -1,0 +1,147 @@
+// Package a exercises the WaitGroup protocol patterns.
+package a
+
+import "sync"
+
+func work(int) {}
+
+// GoodFanOut is the level-worker shape of the discovery core: Add
+// before each spawn, deferred Done, Wait at the barrier.
+func GoodFanOut(n int) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// GoodAddOnce adds the whole batch before the loop: still must-added
+// at every spawn.
+func GoodAddOnce(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// GoodUnconditionalDone calls Done on the only exit path without
+// defer: no finding.
+func GoodUnconditionalDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work(1)
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// GoodDeferredClosureDone releases through a deferred closure.
+func GoodDeferredClosureDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+// AddAfterGo increments the counter after the spawn: Wait can pass
+// before the goroutine is accounted for.
+func AddAfterGo() {
+	var wg sync.WaitGroup
+	go func() { // want `wg\.Add\(\) does not happen before this go statement on every path`
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// CondAdd only adds on one branch but always spawns.
+func CondAdd(b bool) {
+	var wg sync.WaitGroup
+	if b {
+		wg.Add(1)
+	}
+	go func() { // want `wg\.Add\(\) does not happen before this go statement on every path`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// SecondRoundNeedsAdd: the Wait consumes the first Add, so the second
+// spawn is unaccounted.
+func SecondRoundNeedsAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+	go func() { // want `wg\.Add\(\) does not happen before this go statement on every path`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// MissedDoneOnEarlyReturn skips Done when the worker bails out early.
+func MissedDoneOnEarlyReturn(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine may exit without calling wg\.Done\(\)`
+		if n > 0 {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// WaitInside deadlocks: the goroutine waits on the group it belongs
+// to, so the counter can never reach zero.
+func WaitInside() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Wait() // want `wg\.Wait\(\) inside the goroutine it synchronizes`
+	}()
+	wg.Wait()
+}
+
+// AddInside races with Wait: the counter may hit zero before the
+// goroutine runs.
+func AddInside() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(1) // want `wg\.Add\(\) inside the spawned goroutine races with wg\.Wait\(\)`
+		go func() {
+			defer wg.Done()
+		}()
+	}()
+	wg.Wait()
+}
+
+// AllowedAddAfter documents a deliberate protocol deviation.
+func AllowedAddAfter() {
+	var wg sync.WaitGroup
+	// lint:allow wgcheck — spawn is gated by a semaphore elsewhere
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}

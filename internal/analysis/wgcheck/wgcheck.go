@@ -1,0 +1,389 @@
+// Package wgcheck verifies the sync.WaitGroup protocol of the level
+// fan-out with a CFG dataflow per function:
+//
+//  1. add-before-go — for every `go func() { … wg.Done() … }()`, a
+//     wg.Add must happen before the go statement on every incoming
+//     path. Adding inside the goroutine (or after spawning it) races
+//     with wg.Wait: Wait can observe the counter at zero and return
+//     while workers are still running, so a level merge would read
+//     partially-filled worker outputs.
+//  2. done-on-exit — the spawned goroutine must reach wg.Done() on
+//     every normal exit path (a `defer wg.Done()` covers all of them).
+//     A missed Done deadlocks wg.Wait and hangs the whole discovery.
+//  3. no-wait-inside — the goroutine must not call Wait on the same
+//     WaitGroup it participates in: the counter can never reach zero
+//     (self-deadlock). wg.Add inside the spawned goroutine is flagged
+//     for the same reason as rule 1.
+//
+// Suppress a deliberate site with // lint:allow wgcheck.
+package wgcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+
+	"ocd/internal/analysis/cfgutil"
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the wgcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wgcheck",
+	Doc:  "checks sync.WaitGroup protocol: Add before go, Done on every goroutine exit path, no Wait inside the goroutine (suppress with // lint:allow wgcheck)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.ExemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		for _, fb := range cfgutil.Bodies(file) {
+			checkFunc(pass, allow, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc analyzes one function body: it finds every `go` statement
+// spawning a function literal and checks the WaitGroup protocol of the
+// literal against the body's CFG.
+func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, body *ast.BlockStmt) {
+	// Collect the go statements spawning literals, excluding those of
+	// nested literals (each body is visited separately by Bodies).
+	var goStmts []*ast.GoStmt
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goStmts = append(goStmts, g)
+			}
+		}
+		return true
+	})
+	if len(goStmts) == 0 {
+		return
+	}
+
+	info := pass.TypesInfo
+	// wgKeys of interest: WaitGroups Done'd inside some spawned literal.
+	type goroutine struct {
+		stmt *ast.GoStmt
+		lit  *ast.FuncLit
+		keys map[string]ast.Expr // wg key -> receiver expr, for Done'd groups
+	}
+	var gos []goroutine
+	for _, g := range goStmts {
+		lit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		gr := goroutine{stmt: g, lit: lit, keys: make(map[string]ast.Expr)}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, ok := cfgutil.WaitGroupOp(info, call)
+			if !ok {
+				return true
+			}
+			switch op.Method {
+			case "Done":
+				gr.keys[op.Key] = op.Recv
+			case "Wait":
+				if !allow.Allows(call.Pos(), "wgcheck") {
+					pass.Reportf(call.Pos(),
+						"%s.Wait() inside the goroutine it synchronizes: the counter never reaches zero (self-deadlock)",
+						types.ExprString(op.Recv))
+				}
+			case "Add":
+				// Only flag Adds at the goroutine's own level; an Add
+				// in a further-nested literal belongs to that literal's
+				// spawn protocol.
+				if enclosingFuncLit(lit, call.Pos()) == lit && !allow.Allows(call.Pos(), "wgcheck") {
+					pass.Reportf(call.Pos(),
+						"%s.Add() inside the spawned goroutine races with %s.Wait(): call Add before the go statement",
+						types.ExprString(op.Recv), types.ExprString(op.Recv))
+				}
+			}
+			return true
+		})
+		if len(gr.keys) > 0 {
+			gos = append(gos, gr)
+		}
+
+		// Rule 2: Done on every exit path of the literal.
+		checkDoneOnExit(pass, allow, info, gr.stmt, lit, gr.keys)
+	}
+	if len(gos) == 0 {
+		return
+	}
+
+	// Rule 1: must-Add-before-go dataflow over the enclosing body.
+	g := cfgutil.New(body, info)
+	mustAdded := computeMustAdded(g, info)
+	for _, gr := range gos {
+		added, ok := mustAdded[gr.stmt]
+		for key, recv := range gr.keys {
+			if ok && added[key] {
+				continue
+			}
+			if !allow.Allows(gr.stmt.Pos(), "wgcheck") {
+				pass.Reportf(gr.stmt.Pos(),
+					"%s.Add() does not happen before this go statement on every path; Add must precede the spawn it accounts for",
+					types.ExprString(recv))
+			}
+		}
+	}
+}
+
+// computeMustAdded runs a forward must-analysis over g: a WaitGroup key
+// is "added" at a point when wg.Add has executed on every path since
+// function entry (a wg.Wait resets it — the next spawn round needs its
+// own Add). It returns, for each GoStmt node, the set of keys that are
+// must-added immediately before it.
+func computeMustAdded(g *cfg.CFG, info *types.Info) map[*ast.GoStmt]map[string]bool {
+	result := make(map[*ast.GoStmt]map[string]bool)
+
+	// in[b] = nil means "not yet visited" (top: all keys added); a
+	// map holds the keys known added on every path.
+	in := make([]map[string]bool, len(g.Blocks))
+	in[0] = make(map[string]bool)
+	work := []*cfg.Block{g.Blocks[0]}
+	onWork := make([]bool, len(g.Blocks))
+	onWork[0] = true
+
+	transfer := func(b *cfg.Block, st map[string]bool, record bool) map[string]bool {
+		for _, n := range b.Nodes {
+			cfgutil.WalkNodeSkipFuncLit(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.GoStmt:
+					if record {
+						snap := make(map[string]bool, len(st))
+						for k := range st {
+							snap[k] = true
+						}
+						result[m] = snap
+					}
+				case *ast.CallExpr:
+					if op, ok := cfgutil.WaitGroupOp(info, m); ok {
+						switch op.Method {
+						case "Add":
+							st[op.Key] = true
+						case "Wait":
+							delete(st, op.Key)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return st
+	}
+
+	clone := func(st map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(st))
+		for k := range st {
+			out[k] = true
+		}
+		return out
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onWork[b.Index] = false
+		out := transfer(b, clone(in[b.Index]), false)
+		for _, succ := range b.Succs {
+			cur := in[succ.Index]
+			var next map[string]bool
+			if cur == nil {
+				next = clone(out)
+			} else {
+				// Must-join: intersection.
+				next = make(map[string]bool)
+				for k := range cur {
+					if out[k] {
+						next[k] = true
+					}
+				}
+				if len(next) == len(cur) {
+					continue // no change
+				}
+			}
+			in[succ.Index] = next
+			if !onWork[succ.Index] {
+				onWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Recording pass.
+	for _, b := range g.Blocks {
+		if !b.Live || in[b.Index] == nil {
+			continue
+		}
+		transfer(b, clone(in[b.Index]), true)
+	}
+	return result
+}
+
+// checkDoneOnExit verifies that every normal exit path of the spawned
+// literal reaches wg.Done() or has a `defer wg.Done()` armed.
+func checkDoneOnExit(pass *analysis.Pass, allow *lintutil.Allower, info *types.Info, gostmt *ast.GoStmt, lit *ast.FuncLit, keys map[string]ast.Expr) {
+	if len(keys) == 0 {
+		return
+	}
+	g := cfgutil.New(lit.Body, info)
+
+	// Per key configuration set, mirroring lockbalance's product
+	// lattice: (done?, deferArmed?).
+	const (
+		notDone      = 1 << 0
+		done         = 1 << 1
+		notDoneArmed = 1 << 2
+		doneArmed    = 1 << 3
+	)
+	type state map[string]uint8
+	get := func(st state, k string) uint8 {
+		if v, ok := st[k]; ok {
+			return v
+		}
+		return notDone
+	}
+	transfer := func(b *cfg.Block, st state) state {
+		for _, n := range b.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				for _, key := range deferredDones(info, d) {
+					bits := get(st, key)
+					next := uint8(0)
+					if bits&(notDone|notDoneArmed) != 0 {
+						next |= notDoneArmed
+					}
+					if bits&(done|doneArmed) != 0 {
+						next |= doneArmed
+					}
+					st[key] = next
+				}
+				continue
+			}
+			cfgutil.WalkNodeSkipFuncLit(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Done" {
+						bits := get(st, op.Key)
+						next := uint8(0)
+						if bits&(notDone|done) != 0 {
+							next |= done
+						}
+						if bits&(notDoneArmed|doneArmed) != 0 {
+							next |= doneArmed
+						}
+						st[op.Key] = next
+					}
+				}
+				return true
+			})
+		}
+		return st
+	}
+	clone := func(st state) state {
+		out := make(state, len(st))
+		for k, v := range st {
+			out[k] = v
+		}
+		return out
+	}
+
+	in := make([]state, len(g.Blocks))
+	for i := range in {
+		in[i] = make(state)
+	}
+	for k := range keys {
+		in[0][k] = notDone
+	}
+	work := []*cfg.Block{g.Blocks[0]}
+	onWork := make([]bool, len(g.Blocks))
+	onWork[0] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onWork[b.Index] = false
+		out := transfer(b, clone(in[b.Index]))
+		for _, succ := range b.Succs {
+			changed := false
+			for k, v := range out {
+				if in[succ.Index][k]|v != in[succ.Index][k] {
+					in[succ.Index][k] |= v
+					changed = true
+				}
+			}
+			if changed && !onWork[succ.Index] {
+				onWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	for key, recv := range keys {
+		bad := false
+		for _, b := range cfgutil.Exits(g, info) {
+			out := transfer(b, clone(in[b.Index]))
+			if get(out, key)&notDone != 0 { // exits not-done with no defer armed
+				bad = true
+				break
+			}
+		}
+		if bad && !allow.Allows(gostmt.Pos(), "wgcheck") {
+			pass.Reportf(gostmt.Pos(),
+				"goroutine may exit without calling %s.Done(): %s.Wait() would block forever (use defer %s.Done())",
+				types.ExprString(recv), types.ExprString(recv), types.ExprString(recv))
+		}
+	}
+}
+
+// deferredDones returns the WaitGroup keys released by a defer
+// statement: `defer wg.Done()` directly, or a deferred closure whose
+// body calls wg.Done (`defer func() { …; wg.Done() }()`).
+func deferredDones(info *types.Info, d *ast.DeferStmt) []string {
+	if op, ok := cfgutil.WaitGroupOp(info, d.Call); ok {
+		if op.Method == "Done" {
+			return []string{op.Key}
+		}
+		return nil
+	}
+	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Done" {
+				keys = append(keys, op.Key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// enclosingFuncLit returns the innermost FuncLit of root that encloses
+// pos (root itself when no nested literal does).
+func enclosingFuncLit(root *ast.FuncLit, pos token.Pos) *ast.FuncLit {
+	innermost := root
+	ast.Inspect(root.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if lit.Pos() <= pos && pos < lit.End() {
+				innermost = lit
+			}
+		}
+		return true
+	})
+	return innermost
+}

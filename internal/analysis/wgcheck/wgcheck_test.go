@@ -1,0 +1,13 @@
+package wgcheck_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/wgcheck"
+)
+
+func TestWGCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wgcheck.Analyzer, "a")
+}

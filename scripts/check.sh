@@ -6,7 +6,10 @@
 #   2. go vet ./...              stdlib static checks
 #   3. ocdlint                   the repo's own go/analysis suite
 #                                (nopanic, atomicfield, listalias,
-#                                hotloopalloc; see cmd/ocdlint)
+#                                hotloopalloc, lockbalance, wgcheck,
+#                                errdrop; see docs/LINTING.md), plus a
+#                                -json smoke so the CI annotation
+#                                pipeline can trust the output format
 #   4. go test -race ./...       unit + integration tests under the
 #                                race detector (the parallel traversal
 #                                must stay race-clean)
@@ -33,6 +36,9 @@ go vet ./...
 
 step "ocdlint ./..."
 go run ./cmd/ocdlint ./...
+
+step "ocdlint -json ./..."
+go run ./cmd/ocdlint -json ./... >/dev/null
 
 step "go test -race ./..."
 go test -race ./...

@@ -5,12 +5,24 @@
 // gc importer) instead of go/packages. Exit status is 0 when no
 // diagnostics were reported, 1 on driver error, and 3 when diagnostics
 // were reported, matching the upstream checker's convention.
+//
+// The driver accepts a -json flag that emits diagnostics as a JSON
+// array instead of text, for machine consumption (CI annotations):
+//
+//	[{"analyzer":"lockbalance","posn":"file.go:12:2",
+//	  "file":"file.go","line":12,"col":2,"message":"..."}]
+//
+// This is a deliberate, documented deviation from the upstream
+// multichecker (whose -json output is keyed by package and analyzer);
+// the flat array is easier to turn into CI annotations with jq.
 package multichecker
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"sort"
 
@@ -18,11 +30,22 @@ import (
 	"golang.org/x/tools/internal/goloader"
 )
 
+// A JSONDiagnostic is one finding in -json output.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Posn     string `json:"posn"` // file:line:col
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 // Main is the main function for a multi-analyzer driver. It parses
 // command-line package patterns (default "./...") and never returns.
 func Main(analyzers ...*analysis.Analyzer) {
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [packages...]\n\nRegistered analyzers:\n", os.Args[0])
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-json] [packages...]\n\nRegistered analyzers:\n", os.Args[0])
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, firstSentence(a.Doc))
 		}
@@ -32,12 +55,13 @@ func Main(analyzers ...*analysis.Analyzer) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(Run(os.Stdout, patterns, analyzers))
+	os.Exit(Run(os.Stdout, patterns, analyzers, *jsonFlag))
 }
 
 // Run loads the packages matching patterns and applies every analyzer,
-// printing diagnostics to w. It returns the process exit code.
-func Run(w *os.File, patterns []string, analyzers []*analysis.Analyzer) int {
+// printing diagnostics to w — as text lines, or as a JSON array when
+// asJSON is set. It returns the process exit code.
+func Run(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON bool) int {
 	pkgs, err := goloader.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ocdlint:", err)
@@ -81,8 +105,28 @@ func Run(w *os.File, patterns []string, analyzers []*analysis.Analyzer) int {
 		}
 		return a.msg < b.msg
 	})
-	for _, d := range diags {
-		fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.name)
+	if asJSON {
+		out := make([]JSONDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, JSONDiagnostic{
+				Analyzer: d.name,
+				Posn:     d.pos.String(),
+				File:     d.pos.Filename,
+				Line:     d.pos.Line,
+				Col:      d.pos.Column,
+				Message:  d.msg,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ocdlint: encoding json:", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.name)
+		}
 	}
 	if len(diags) > 0 {
 		return 3

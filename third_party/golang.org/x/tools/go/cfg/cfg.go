@@ -1,0 +1,611 @@
+// Package cfg constructs a simple control-flow graph (CFG) of the
+// statements and expressions within a single function.
+//
+// This is an offline API-compatible subset of the upstream
+// golang.org/x/tools/go/cfg package; see the module README for what is
+// and is not implemented.
+//
+// Use cfg.New to construct the CFG for a function body.
+//
+// The blocks of the CFG contain all the function's non-control
+// statements.  The CFG does not contain control statements such as If,
+// Switch, Select, and Branch, but does contain their subexpressions;
+// also, each block records the control statement (Block.Stmt) that
+// gave rise to it and its relationship (Block.Kind) to that statement.
+//
+// For example, this source code:
+//
+//	if x := f(); x != nil {
+//		T()
+//	} else {
+//		F()
+//	}
+//
+// produces this CFG:
+//
+//	1:  x := f()		Body
+//	    x != nil
+//	    succs: 2, 3
+//	2:  T()			IfThen
+//	    succs: 4
+//	3:  F()			IfElse
+//	    succs: 4
+//	4:			IfDone
+//
+// The CFG does contain Return statements; even implicit returns are
+// materialized (at the position of the function's closing brace).
+//
+// The CFG does not record conditions associated with conditional branch
+// edges, nor the short-circuit semantics of the && and || operators,
+// nor abnormal control flow caused by panic.  If you need this
+// information, use golang.org/x/tools/go/ssa instead.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+)
+
+// A CFG represents the control-flow graph of a single function.
+//
+// The entry point is Blocks[0]; there may be multiple return blocks.
+type CFG struct {
+	fset   *token.FileSet
+	Blocks []*Block // block[0] is entry; order otherwise undefined
+}
+
+// A Block represents a basic block: a list of statements and
+// expressions that are always evaluated sequentially.
+//
+// A block may have 0-2 successors: zero for a return block or a block
+// that calls a function such as panic that never returns; one for a
+// normal (jump) block; and two for a conditional (if) block.
+type Block struct {
+	Nodes []ast.Node // statements, expressions, and ValueSpecs
+	Succs []*Block   // successor nodes in the graph
+	Index int32      // index within CFG.Blocks
+	Live  bool       // block is reachable from entry
+	Kind  BlockKind  // block kind
+	Stmt  ast.Stmt   // statement that gave rise to this block (see BlockKind for details)
+
+	succs2 [2]*Block // underlying array for Succs
+}
+
+// A BlockKind identifies the purpose of a block.
+// It also determines the possible types of its Stmt field.
+type BlockKind int32
+
+const (
+	KindInvalid BlockKind = iota // Stmt=nil
+
+	KindUnreachable     // unreachable block after {Branch,Return}Stmt / no-return call ExprStmt
+	KindBody            // function body BlockStmt
+	KindForBody         // body of ForStmt
+	KindForDone         // block after ForStmt
+	KindForLoop         // head of ForStmt
+	KindForPost         // post condition of ForStmt
+	KindGotoTarget      // the target of a goto: LabeledStmt
+	KindIfDone          // block after IfStmt
+	KindIfElse          // else block of IfStmt
+	KindIfThen          // then block of IfStmt
+	KindLabel           // labeled block of BranchStmt (Stmt may be nil for dangling label)
+	KindRangeBody       // body of RangeStmt
+	KindRangeDone       // block after RangeStmt
+	KindRangeLoop       // head of RangeStmt
+	KindReturn          // ReturnStmt
+	KindSelectCaseBody  // body of SelectStmt
+	KindSelectDone      // block after SelectStmt
+	KindSelectAfterCase // block after a CommClause
+	KindSwitchCaseBody  // body of CaseClause
+	KindSwitchDone      // block after {Type,}SwitchStmt
+	KindSwitchNextCase  // secondary CaseClause
+)
+
+func (kind BlockKind) String() string {
+	name, ok := kindNames[kind]
+	if !ok {
+		return fmt.Sprintf("BlockKind(%d)", kind)
+	}
+	return name
+}
+
+var kindNames = map[BlockKind]string{
+	KindInvalid:         "Invalid",
+	KindUnreachable:     "Unreachable",
+	KindBody:            "Body",
+	KindForBody:         "ForBody",
+	KindForDone:         "ForDone",
+	KindForLoop:         "ForLoop",
+	KindForPost:         "ForPost",
+	KindGotoTarget:      "GotoTarget",
+	KindIfDone:          "IfDone",
+	KindIfElse:          "IfElse",
+	KindIfThen:          "IfThen",
+	KindLabel:           "Label",
+	KindRangeBody:       "RangeBody",
+	KindRangeDone:       "RangeDone",
+	KindRangeLoop:       "RangeLoop",
+	KindReturn:          "Return",
+	KindSelectCaseBody:  "SelectCaseBody",
+	KindSelectDone:      "SelectDone",
+	KindSelectAfterCase: "SelectAfterCase",
+	KindSwitchCaseBody:  "SwitchCaseBody",
+	KindSwitchDone:      "SwitchDone",
+	KindSwitchNextCase:  "SwitchNextCase",
+}
+
+// New returns a new control-flow graph for the specified function body,
+// which must be non-nil.
+//
+// The CFG builder calls mayReturn to determine whether a given function
+// call may return.  For example, calls to panic, os.Exit, and log.Fatal
+// do not return, so the builder can remove infeasible graph edges
+// following such calls.  The builder calls mayReturn only for a
+// CallExpr beneath an ExprStmt.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *CFG {
+	b := &builder{
+		mayReturn: mayReturn,
+		cfg:       new(CFG),
+	}
+	b.current = b.newBlock(KindBody, body)
+	b.stmt(body)
+
+	// Mark live blocks: those reachable from the entry.
+	var mark func(*Block)
+	mark = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, succ := range blk.Succs {
+			mark(succ)
+		}
+	}
+	if len(b.cfg.Blocks) > 0 {
+		mark(b.cfg.Blocks[0])
+	}
+	return b.cfg
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("block %d (%s)", b.Index, b.Kind)
+}
+
+// Return returns the return statement at the end of this block if
+// present, nil otherwise.
+func (b *Block) Return() (ret *ast.ReturnStmt) {
+	if len(b.Nodes) > 0 {
+		ret, _ = b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	}
+	return
+}
+
+// Format formats the control-flow graph for ease of debugging.
+func (g *CFG) Format(fset *token.FileSet) string {
+	var buf bytes.Buffer
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&buf, ".%d: # %s\n", b.Index, b.Kind)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&buf, "\t%s\n", formatNode(fset, n))
+		}
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&buf, "\tsuccs:")
+			for _, succ := range b.Succs {
+				fmt.Fprintf(&buf, " %d", succ.Index)
+			}
+			buf.WriteByte('\n')
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+func formatNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	format.Node(&buf, fset, n)
+	// Indent secondary lines by a tab.
+	return string(bytes.Replace(buf.Bytes(), []byte("\n"), []byte("\n\t"), -1))
+}
+
+// ---- builder ----
+
+type builder struct {
+	cfg       *CFG
+	mayReturn func(*ast.CallExpr) bool
+	current   *Block
+	lblocks   map[string]*lblock // labeled blocks
+	targets   *targets           // linked stack of branch targets
+}
+
+// lblock is a labeled block: the target of break, continue or goto with
+// that label.
+type lblock struct {
+	_goto     *Block
+	_break    *Block
+	_continue *Block
+}
+
+// targets holds the jump targets associated with the innermost
+// enclosing loop, switch or select statement.
+type targets struct {
+	tail         *targets
+	_break       *Block
+	_continue    *Block
+	_fallthrough *Block
+}
+
+func (b *builder) newBlock(kind BlockKind, stmt ast.Stmt) *Block {
+	g := b.cfg
+	blk := &Block{Index: int32(len(g.Blocks)), Kind: kind, Stmt: stmt}
+	blk.Succs = blk.succs2[:0]
+	g.Blocks = append(g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// jump adds an edge from the current block to target.  The caller is
+// responsible for setting b.current to the block where construction
+// resumes.
+func (b *builder) jump(target *Block) {
+	b.current.Succs = append(b.current.Succs, target)
+}
+
+// ifelse emits conditional edges from the current block to the then
+// and else blocks.
+func (b *builder) ifelse(t, f *Block) {
+	b.current.Succs = append(b.current.Succs, t, f)
+}
+
+// labeledBlock returns the branch target associated with the specified
+// label, creating it if needed.
+func (b *builder) labeledBlock(label *ast.Ident, stmt *ast.LabeledStmt) *lblock {
+	lb := b.lblocks[label.Name]
+	if lb == nil {
+		lb = &lblock{_goto: b.newBlock(KindLabel, nil)}
+		if b.lblocks == nil {
+			b.lblocks = make(map[string]*lblock)
+		}
+		b.lblocks[label.Name] = lb
+	}
+	if stmt != nil {
+		lb._goto.Stmt = stmt
+	}
+	return lb
+}
+
+func (b *builder) stmt(_s ast.Stmt) {
+	// label, if non-nil, is the innermost label of the current
+	// statement; its break/continue targets are set by the loop and
+	// switch builders.
+	var label *lblock
+start:
+	switch s := _s.(type) {
+	case *ast.BadStmt,
+		*ast.SendStmt,
+		*ast.IncDecStmt,
+		*ast.GoStmt,
+		*ast.DeferStmt,
+		*ast.EmptyStmt,
+		*ast.AssignStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := astCall(s.X); ok && !b.mayReturn(call) {
+			// A call to panic, os.Exit, etc. never returns: end the
+			// block with no successors.
+			b.current = b.newBlock(KindUnreachable, s)
+		}
+
+	case *ast.DeclStmt:
+		// GenDecl of vars or consts; types have no flow effect.
+		b.add(s)
+
+	case *ast.LabeledStmt:
+		label = b.labeledBlock(s.Label, s)
+		b.jump(label._goto)
+		b.current = label._goto
+		_s = s.Stmt
+		goto start
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current.Kind = kindIfBody(b.current, KindReturn)
+		b.current = b.newBlock(KindUnreachable, s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.BlockStmt:
+		for _, stmt := range s.List {
+			b.stmt(stmt)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock(KindIfThen, s)
+		done := b.newBlock(KindIfDone, s)
+		_else := done
+		if s.Else != nil {
+			_else = b.newBlock(KindIfElse, s)
+		}
+		b.add(s.Cond)
+		b.ifelse(then, _else)
+		b.current = then
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			b.current = _else
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.current = done
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s, s.Body, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s, s.Body, label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	default:
+		panic(fmt.Sprintf("unexpected statement kind: %T", s))
+	}
+}
+
+// kindIfBody keeps an existing non-trivial kind but upgrades plain
+// fall-through blocks (Body/Done) that end in a return.
+func kindIfBody(blk *Block, kind BlockKind) BlockKind {
+	switch blk.Kind {
+	case KindBody, KindIfDone, KindForDone, KindRangeDone, KindSwitchDone, KindSelectDone, KindUnreachable:
+		return kind
+	}
+	return blk.Kind
+}
+
+func astCall(x ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	return call, ok
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	var block *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				block = lb._break
+			}
+		} else {
+			for t := b.targets; t != nil && block == nil; t = t.tail {
+				block = t._break
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				block = lb._continue
+			}
+		} else {
+			for t := b.targets; t != nil && block == nil; t = t.tail {
+				block = t._continue
+			}
+		}
+	case token.FALLTHROUGH:
+		for t := b.targets; t != nil && block == nil; t = t.tail {
+			block = t._fallthrough
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			block = b.labeledBlock(s.Label, nil)._goto
+		}
+	}
+	if block == nil { // ill-formed program
+		block = b.newBlock(KindUnreachable, s)
+	}
+	b.jump(block)
+	b.current = b.newBlock(KindUnreachable, s)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label *lblock) {
+	//	...init...
+	//	jump loop
+	// loop:
+	//	if cond goto body else done
+	// body:
+	//	...body...
+	//	jump post
+	// post:				 (optional)
+	//	...post...
+	//	jump loop
+	// done:
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	body := b.newBlock(KindForBody, s)
+	done := b.newBlock(KindForDone, s)
+	loop := body // target of back-edge
+	if s.Cond != nil {
+		loop = b.newBlock(KindForLoop, s)
+	}
+	cont := loop // target of continue
+	if s.Post != nil {
+		cont = b.newBlock(KindForPost, s)
+	}
+	if label != nil {
+		label._break = done
+		label._continue = cont
+	}
+	b.jump(loop)
+	b.current = loop
+	if loop != body {
+		b.add(s.Cond)
+		b.ifelse(body, done)
+		b.current = body
+	}
+	b.targets = &targets{
+		tail:      b.targets,
+		_break:    done,
+		_continue: cont,
+	}
+	b.stmt(s.Body)
+	b.targets = b.targets.tail
+	b.jump(cont)
+	if s.Post != nil {
+		b.current = cont
+		b.stmt(s.Post)
+		b.jump(loop)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label *lblock) {
+	//	...x...
+	// loop:				(head; Key/Value assignment per iteration)
+	//	if remaining goto body else done
+	// body:
+	//	...body...
+	//	jump loop
+	// done:
+	b.add(s.X)
+	loop := b.newBlock(KindRangeLoop, s)
+	b.jump(loop)
+	b.current = loop
+	// The per-iteration Key/Value bindings belong to the loop head so
+	// dataflow analyses see them re-defined on the back edge.
+	if s.Key != nil {
+		b.add(s.Key)
+	}
+	if s.Value != nil {
+		b.add(s.Value)
+	}
+	body := b.newBlock(KindRangeBody, s)
+	done := b.newBlock(KindRangeDone, s)
+	b.ifelse(body, done)
+	b.current = body
+	if label != nil {
+		label._break = done
+		label._continue = loop
+	}
+	b.targets = &targets{
+		tail:      b.targets,
+		_break:    done,
+		_continue: loop,
+	}
+	b.stmt(s.Body)
+	b.targets = b.targets.tail
+	b.jump(loop)
+	b.current = done
+}
+
+// switchBody builds the clauses of a switch or type switch.  Case
+// expressions are evaluated in the dispatch block; each clause body is
+// a successor of the dispatch block (and of the previous body via
+// fallthrough).  When no default clause exists, the dispatch block also
+// flows directly to done.
+func (b *builder) switchBody(s ast.Stmt, body *ast.BlockStmt, label *lblock) {
+	dispatch := b.current
+	done := b.newBlock(KindSwitchDone, s)
+	if label != nil {
+		label._break = done
+	}
+
+	hasDefault := false
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, expr := range cc.List {
+			dispatch.Nodes = append(dispatch.Nodes, expr)
+		}
+		kind := KindSwitchCaseBody
+		if len(bodies) > 0 {
+			kind = KindSwitchNextCase
+		}
+		bodies = append(bodies, b.newBlock(kind, cc))
+		clauses = append(clauses, cc)
+	}
+
+	for i, blk := range bodies {
+		dispatch.Succs = append(dispatch.Succs, blk)
+		b.current = blk
+		var ft *Block
+		if i+1 < len(bodies) {
+			ft = bodies[i+1]
+		}
+		b.targets = &targets{
+			tail:         b.targets,
+			_break:       done,
+			_fallthrough: ft,
+		}
+		for _, st := range clauses[i].Body {
+			b.stmt(st)
+		}
+		b.targets = b.targets.tail
+		b.jump(done)
+	}
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, done)
+	}
+	b.current = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label *lblock) {
+	// Every comm clause body is a successor of the dispatch block.  A
+	// select with no default clause blocks until a case is ready; a
+	// select with no cases at all blocks forever (no successors).
+	dispatch := b.current
+	done := b.newBlock(KindSelectDone, s)
+	if label != nil {
+		label._break = done
+	}
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		body := b.newBlock(KindSelectCaseBody, cc)
+		dispatch.Succs = append(dispatch.Succs, body)
+		b.current = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.targets = &targets{
+			tail:   b.targets,
+			_break: done,
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.targets = b.targets.tail
+		b.jump(done)
+	}
+	b.current = done
+}

@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json fuzz check
+.PHONY: build test race lint lint-json chaos fuzz check
 
 build:
 	go build ./...
@@ -21,6 +21,13 @@ lint:
 
 lint-json:
 	go run ./cmd/ocdlint -json ./...
+
+# chaos compiles in the fault-injection points (docs/ROBUSTNESS.md) and
+# drives the engine's failure paths: worker panics, injected cancels,
+# delays — then repeats the concurrency-sensitive packages under -race.
+chaos:
+	go test -tags=faultinject ./...
+	go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
 fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/

@@ -8,13 +8,20 @@
 //
 //	experiments -exp table6|numbers|fig2|fig3|fig4|fig5|fig6|fig7|all
 //	            [-timeout 20s] [-lineitem-rows 100000] [-reps 1]
+//
+// Ctrl-C stops the suite between samples (in-flight discovery runs cancel
+// within milliseconds); the measurements collected so far are still printed
+// and the process exits with status 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"ocd/internal/experiments"
@@ -35,7 +42,11 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	s := experiments.DefaultScale()
+	s.Ctx = ctx
 	s.Timeout = *timeout
 	s.LineItemRows = *liRows
 	s.DBTesmaRows = *dbRows
@@ -116,9 +127,16 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table6", "numbers", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation"} {
+			if ctx.Err() != nil {
+				break
+			}
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; partial measurements printed above")
+		os.Exit(3)
+	}
 }

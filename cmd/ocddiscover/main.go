@@ -6,20 +6,33 @@
 //
 //	ocddiscover -input data.csv [-workers 8] [-timeout 5h] [-sep ';']
 //	            [-no-header] [-force-string] [-max-level 0]
-//	            [-top-entropy 0] [-expand 20]
+//	            [-top-entropy 0] [-expand 20] [-partial-ok]
+//
+// Interrupting a run (Ctrl-C / SIGINT / SIGTERM) still prints the partial
+// summary of everything found so far.
+//
+// Exit codes: 0 complete (or partial with -partial-ok), 1 error,
+// 2 usage, 3 partial results (truncated or interrupted).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ocd"
 )
+
+// exitPartial is the exit code for a truncated or interrupted run whose
+// partial results were still printed.
+const exitPartial = 3
 
 func main() {
 	var (
@@ -35,6 +48,7 @@ func main() {
 		expand      = flag.Int("expand", 0, "also print up to n expanded ODs")
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
 		depsOut     = flag.String("deps-out", "", "write discovered dependencies in odverify's format to this file")
+		partialOK   = flag.Bool("partial-ok", false, "exit 0 instead of 3 when results are partial (truncated or interrupted)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -73,11 +87,20 @@ func main() {
 		fmt.Printf("restricting to top-%d entropy columns: %v\n", *topEntropy, dopts.Columns)
 	}
 
+	// Ctrl-C cancels the discovery cooperatively: the run stops within
+	// milliseconds and the partial results found so far are still printed.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	start := time.Now()
-	res, err := tbl.Discover(dopts)
-	if err != nil {
+	res, err := tbl.DiscoverContext(ctx, dopts)
+	if res == nil {
 		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
 		os.Exit(1)
+	}
+	if err != nil {
+		// Partial run: report why on stderr, then print what was found.
+		fmt.Fprintln(os.Stderr, "ocddiscover: partial results:", err)
 	}
 	_ = start
 
@@ -103,6 +126,7 @@ func main() {
 			Candidates       int64      `json:"candidates"`
 			ElapsedMS        int64      `json:"elapsed_ms"`
 			Truncated        bool       `json:"truncated"`
+			TruncateReason   string     `json:"truncate_reason,omitempty"`
 		}
 		out := jsonOut{
 			Table: tbl.Name(), Rows: tbl.NumRows(), Cols: tbl.NumCols(),
@@ -111,6 +135,7 @@ func main() {
 			ExpandedODCount: res.CountODs(),
 			Checks:          res.Stats.Checks, Candidates: res.Stats.Candidates,
 			ElapsedMS: res.Stats.Elapsed.Milliseconds(), Truncated: res.Stats.Truncated,
+			TruncateReason: string(res.Stats.TruncateReason),
 		}
 		if *expand > 0 {
 			out.ExpandedODs = res.ExpandODs(*expand)
@@ -121,6 +146,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
 			os.Exit(1)
 		}
+		exit(res, *partialOK)
 		return
 	}
 
@@ -152,6 +178,15 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%s\n", res.Summary())
+	exit(res, *partialOK)
+}
+
+// exit maps the run's outcome to the process exit code: 0 for a complete
+// run, exitPartial for a truncated one unless -partial-ok opted back in.
+func exit(res *ocd.Result, partialOK bool) {
+	if res.Stats.Truncated && !partialOK {
+		os.Exit(exitPartial)
+	}
 }
 
 // writeDeps saves the result in odverify's dependency-file format, closing

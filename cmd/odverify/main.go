@@ -15,13 +15,18 @@
 //
 //	odverify -input data.csv -deps constraints.txt [-eps 0.01]
 //
-// Exit status 0 when everything holds (or is within -eps), 1 otherwise.
+// Exit status 0 when everything holds (or is within -eps), 1 otherwise,
+// 3 when interrupted (Ctrl-C) before all dependencies were checked — the
+// verdicts printed so far are then still valid.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ocd/internal/approx"
 	"ocd/internal/depfile"
@@ -62,10 +67,22 @@ func main() {
 		fail(err)
 	}
 
+	// Ctrl-C stops between dependencies; every verdict already printed was
+	// fully checked, so partial output stays trustworthy.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	chk := order.NewChecker(r, 64)
 	apx := approx.NewChecker(r)
 	failures := 0
+	checked := 0
 	for _, d := range parsed {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after %d of %d dependencies (%d violated so far)\n",
+				checked, len(parsed), failures)
+			os.Exit(3)
+		}
+		checked++
 		if d.OCD {
 			if chk.CheckOCD(d.Lhs, d.Rhs) {
 				fmt.Printf("OK    %s\n", d.Raw)

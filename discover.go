@@ -1,6 +1,8 @@
 package ocd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -35,6 +37,59 @@ type Options struct {
 	// incrementally derived sorted partitions (the §5.3.1 technique).
 	// Results are identical to the default re-sorting backend.
 	UseSortedPartitions bool
+	// MaxMemoryBytes is a soft heap budget: when the heap crosses it at a
+	// level boundary the engine first drops its index/partition caches, and
+	// truncates the run (reason "memory-budget") only if that is not
+	// enough. Zero means no budget.
+	MaxMemoryBytes int64
+}
+
+// TruncateReason explains why a run returned partial results; the zero value
+// TruncateNone means the traversal completed. The string form is what CLIs
+// and JSON output show.
+type TruncateReason string
+
+const (
+	// TruncateNone: the run completed the full traversal.
+	TruncateNone TruncateReason = ""
+	// TruncateTimeout: Options.Timeout or the context deadline expired.
+	TruncateTimeout TruncateReason = "timeout"
+	// TruncateCandidateCap: Options.MaxCandidates was exhausted.
+	TruncateCandidateCap TruncateReason = "candidate-cap"
+	// TruncateLevelCap: the traversal reached Options.MaxLevel.
+	TruncateLevelCap TruncateReason = "level-cap"
+	// TruncateCancelled: the caller's context was cancelled.
+	TruncateCancelled TruncateReason = "cancelled"
+	// TruncateMemoryBudget: the heap stayed over Options.MaxMemoryBytes even
+	// after the caches were released.
+	TruncateMemoryBudget TruncateReason = "memory-budget"
+	// TruncateWorkerPanic: a worker panicked; the error returned alongside
+	// the partial result matches errors.Is(err, ErrWorkerPanic).
+	TruncateWorkerPanic TruncateReason = "worker-panic"
+)
+
+// ErrWorkerPanic is the sentinel wrapped into errors returned when a panic
+// was recovered during discovery; the partial Result is still returned. Use
+// errors.Is(err, ErrWorkerPanic) to distinguish a crash-degraded run from a
+// cancelled one.
+var ErrWorkerPanic = errors.New("ocd: panic recovered during discovery")
+
+func reasonOf(r core.TruncateReason) TruncateReason {
+	switch r {
+	case core.TruncateTimeout:
+		return TruncateTimeout
+	case core.TruncateMaxCandidates:
+		return TruncateCandidateCap
+	case core.TruncateMaxLevel:
+		return TruncateLevelCap
+	case core.TruncateCancelled:
+		return TruncateCancelled
+	case core.TruncateMemoryBudget:
+		return TruncateMemoryBudget
+	case core.TruncateWorkerPanic:
+		return TruncateWorkerPanic
+	}
+	return TruncateNone
 }
 
 // OCD is an order compatibility dependency Left ~ Right over column names.
@@ -67,8 +122,15 @@ type Stats struct {
 	Levels int
 	// Elapsed is the wall-clock runtime.
 	Elapsed time.Duration
-	// Truncated marks a partial run (timeout or candidate cap).
+	// Truncated marks a partial run. Kept alongside TruncateReason for
+	// compatibility: Truncated == (TruncateReason != TruncateNone).
 	Truncated bool
+	// TruncateReason says why the run is partial; TruncateNone when the
+	// traversal completed.
+	TruncateReason TruncateReason
+	// MemoryReleases counts how often the soft memory budget forced the
+	// checker caches to be dropped without truncating the run.
+	MemoryReleases int
 }
 
 // Result holds the dependencies found by Discover.
@@ -92,8 +154,24 @@ type Result struct {
 	names func(attr.ID) string
 }
 
-// Discover runs OCDDISCOVER on the table.
+// Discover runs OCDDISCOVER on the table. Equivalent to DiscoverContext
+// with context.Background(): it cannot be cancelled, but a recovered worker
+// panic still degrades to a partial Result plus an ErrWorkerPanic error.
 func (t *Table) Discover(opts Options) (*Result, error) {
+	return t.DiscoverContext(context.Background(), opts)
+}
+
+// DiscoverContext runs OCDDISCOVER under a context. Cancellation is
+// cooperative but fast (an atomic flag polled deep inside the sort loops),
+// so a cancel lands in milliseconds even on multi-million-row levels.
+//
+// On cancellation, timeout, or a recovered panic the Result is non-nil and
+// well-formed — it holds every dependency fully validated before the stop,
+// with Stats.TruncateReason saying why the run is partial — alongside a
+// non-nil error (ctx.Err(), or one matching errors.Is(err, ErrWorkerPanic)).
+// Errors about the call itself (nil table, unknown column) return a nil
+// Result as before.
+func (t *Table) DiscoverContext(ctx context.Context, opts Options) (*Result, error) {
 	if t == nil || t.rel == nil {
 		return nil, errNilTable
 	}
@@ -108,7 +186,7 @@ func (t *Table) Discover(opts Options) (*Result, error) {
 			cols[i] = id
 		}
 	}
-	inner := core.Discover(t.rel, core.Options{
+	inner, err := core.DiscoverContext(ctx, t.rel, core.Options{
 		Workers:                opts.Workers,
 		Timeout:                opts.Timeout,
 		MaxCandidates:          opts.MaxCandidates,
@@ -116,8 +194,13 @@ func (t *Table) Discover(opts Options) (*Result, error) {
 		Columns:                cols,
 		DisableColumnReduction: opts.DisableColumnReduction,
 		UseSortedPartitions:    opts.UseSortedPartitions,
+		MaxMemoryBytes:         opts.MaxMemoryBytes,
 	})
-	return t.wrapResult(inner), nil
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		err = fmt.Errorf("%w: %w", ErrWorkerPanic, err)
+	}
+	return t.wrapResult(inner), err
 }
 
 func (t *Table) wrapResult(inner *core.Result) *Result {
@@ -136,11 +219,13 @@ func (t *Table) wrapResult(inner *core.Result) *Result {
 		res.EquivalentGroups = append(res.EquivalentGroups, nameList(attrListOf(class), names))
 	}
 	res.Stats = Stats{
-		Checks:     inner.Stats.Checks,
-		Candidates: inner.Stats.Candidates,
-		Levels:     inner.Stats.Levels,
-		Elapsed:    inner.Stats.Elapsed,
-		Truncated:  inner.Stats.Truncated,
+		Checks:         inner.Stats.Checks,
+		Candidates:     inner.Stats.Candidates,
+		Levels:         inner.Stats.Levels,
+		Elapsed:        inner.Stats.Elapsed,
+		Truncated:      inner.Stats.Truncated,
+		TruncateReason: reasonOf(inner.Stats.Reason),
+		MemoryReleases: inner.Stats.MemoryReleases,
 	}
 	return res
 }
@@ -184,7 +269,11 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "expanded ODs: %d | checks: %d | candidates: %d | elapsed: %v",
 		r.CountODs(), r.Stats.Checks, r.Stats.Candidates, r.Stats.Elapsed.Round(time.Microsecond))
 	if r.Stats.Truncated {
-		b.WriteString(" (truncated)")
+		if r.Stats.TruncateReason != TruncateNone {
+			fmt.Fprintf(&b, " (truncated: %s)", r.Stats.TruncateReason)
+		} else {
+			b.WriteString(" (truncated)")
+		}
 	}
 	return b.String()
 }

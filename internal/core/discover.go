@@ -1,23 +1,56 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ocd/internal/attr"
+	"ocd/internal/faultinject"
 	"ocd/internal/order"
 	"ocd/internal/relation"
 )
 
 // Discover runs OCDDISCOVER over the relation instance and returns the
 // minimal OCDs, the ODs found during the traversal, and the reduction-phase
-// dependencies (constant columns and order-equivalence classes).
+// dependencies (constant columns and order-equivalence classes). It is the
+// error-free wrapper around DiscoverContext: worker panics still degrade to
+// a partial Result (marked TruncateWorkerPanic), only the error is dropped.
 func Discover(r *relation.Relation, opts Options) *Result {
+	res, _ := DiscoverContext(context.Background(), r, opts) // lint:allow errdrop — error-free compat wrapper; Stats.Reason carries the cause
+	return res
+}
+
+// DiscoverContext runs OCDDISCOVER under a context. Cancellation is
+// cooperative but fast: a watcher goroutine arms an atomic stop flag that
+// the level workers, the reduction phase and the sort loops deep inside
+// internal/order poll, so a cancel lands in milliseconds even mid-sort on a
+// wide level — no time.Now() or channel operations on the hot path.
+//
+// The returned Result is never nil and always well-formed: every dependency
+// in it was fully validated before the stop landed. The error is non-nil
+// when the caller's context ended (ctx.Err()) or a worker panicked (a
+// *PanicError, possibly wrapped in a joined error); in both cases the
+// partial Result is still returned, mirroring the paper's
+// partial-results-under-threshold reporting (Table 6).
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) (res *Result, err error) {
 	d := newDiscoverer(r, opts)
-	return d.run()
+	// Last-resort isolation: a panic outside the level workers (reduction,
+	// merging, a checker bug on the caller's goroutine) still converts to a
+	// partial result plus an error instead of killing the process.
+	defer func() {
+		if v := recover(); v != nil {
+			res = d.res
+			res.truncate(TruncateWorkerPanic)
+			err = errors.Join(err, &PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	return d.run(ctx)
 }
 
 // checker abstracts the order-checking backend: the re-sorting Checker
@@ -28,6 +61,13 @@ type checker interface {
 	OrderEquivalent(x, y attr.List) bool
 	Checks() int64
 	Relation() *relation.Relation
+	// SetStopFlag arms cooperative cancellation inside the backend's sort
+	// and scan loops; aborted checks conservatively report invalid and are
+	// never cached.
+	SetStopFlag(stop *atomic.Bool)
+	// ReleaseMemory drops the backend's index/partition cache, the
+	// graceful-degradation step of the soft memory budget.
+	ReleaseMemory()
 }
 
 type discoverer struct {
@@ -39,10 +79,25 @@ type discoverer struct {
 
 	universe []attr.ID // columns under consideration (pre-reduction)
 
+	// res accumulates the (possibly partial) output; kept on the
+	// discoverer so the boundary recover in DiscoverContext can return it.
+	res *Result
+
 	// generated counts candidates produced so far; workers stop early when
 	// it crosses MaxCandidates, bounding memory even within one level of a
 	// quasi-constant blow-up.
 	generated atomic.Int64
+
+	// stopReason holds the first TruncateReason requested by the watcher,
+	// a panicking worker, or a budget check; zero while running. Workers
+	// poll it between candidates — one atomic load, nothing else.
+	stopReason atomic.Int32
+	// hardStop aborts work mid-check: it is shared with the checking
+	// backend, whose sort/scan loops poll it. Only context cancellation
+	// and worker panics set it; a soft Timeout lets the current checks
+	// finish so reduction output stays complete (the documented contract:
+	// timeout stops the traversal, cancellation aborts everything).
+	hardStop atomic.Bool
 }
 
 func newDiscoverer(r *relation.Relation, opts Options) *discoverer {
@@ -70,13 +125,17 @@ func newDiscoverer(r *relation.Relation, opts Options) *discoverer {
 		opts:     opts,
 		workers:  w,
 		universe: universe,
+		res:      &Result{RelationName: r.Name},
 	}
+	d.chk.SetStopFlag(&d.hardStop)
 	if opts.Timeout > 0 {
 		d.deadline = time.Now().Add(opts.Timeout)
 	}
 	return d
 }
 
+// expired is the deterministic deadline check used at level boundaries; the
+// per-candidate hot path uses the atomic stopReason flag instead.
 func (d *discoverer) expired() bool {
 	return !d.deadline.IsZero() && time.Now().After(d.deadline)
 }
@@ -85,23 +144,103 @@ func (d *discoverer) overBudget() bool {
 	return d.opts.MaxCandidates > 0 && d.generated.Load() > d.opts.MaxCandidates
 }
 
+// reason returns the stop reason requested so far (TruncateNone = keep
+// going). One atomic load; safe for the per-candidate hot path.
+func (d *discoverer) reason() TruncateReason {
+	return TruncateReason(d.stopReason.Load())
+}
+
+// requestStop records the first stop reason; hard stops additionally arm
+// the checker-level abort flag so multi-second sorts bail mid-way.
+func (d *discoverer) requestStop(reason TruncateReason, hard bool) {
+	d.stopReason.CompareAndSwap(0, int32(reason))
+	if hard {
+		d.hardStop.Store(true)
+	}
+}
+
+// watch is the context watcher goroutine: it converts ctx cancellation and
+// the soft timeout timer into stop flags. It exits when stop closes (normal
+// return) and signals done so run can prove no goroutine outlives it.
+func (d *discoverer) watch(ctx context.Context, timerC <-chan time.Time, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-ctx.Done():
+			reason := TruncateCancelled
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				reason = TruncateTimeout
+			}
+			d.requestStop(reason, true)
+			return
+		case <-timerC:
+			d.requestStop(TruncateTimeout, false)
+			timerC = nil // keep watching ctx for a later hard cancel
+		case <-stop:
+			return
+		}
+	}
+}
+
+// overMemoryBudget implements the soft memory budget at a level boundary:
+// over budget → release the checker caches and GC; still over → truncate.
+func (d *discoverer) overMemoryBudget() bool {
+	if d.opts.MaxMemoryBytes <= 0 {
+		return false
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc <= uint64(d.opts.MaxMemoryBytes) {
+		return false
+	}
+	d.chk.ReleaseMemory()
+	d.res.Stats.MemoryReleases++
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc > uint64(d.opts.MaxMemoryBytes)
+}
+
 // workerOut accumulates one worker's emissions for a level.
 type workerOut struct {
 	ocds []OCD
 	ods  []OD
 	next []attr.Pair
+	// current is the candidate being processed, recorded before each check
+	// so a recovered panic can name it.
+	current attr.Pair
+	// err is the worker's recovered panic, if any.
+	err error
+	// stopped reports that the worker bailed before finishing its range.
+	stopped bool
 }
 
-func (d *discoverer) run() *Result {
+func (d *discoverer) run(ctx context.Context) (*Result, error) {
 	start := time.Now()
-	res := &Result{RelationName: d.r.Name}
+	res := d.res
+
+	// Arm the cancellation watcher only when there is something to watch;
+	// plain Discover calls with no timeout pay nothing.
+	var timerC <-chan time.Time
+	if d.opts.Timeout > 0 {
+		timer := time.NewTimer(d.opts.Timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	if ctx.Done() != nil || timerC != nil {
+		watcherStop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go d.watch(ctx, timerC, watcherStop, watcherDone)
+		// Join the watcher before returning so callers observe zero
+		// leftover goroutines (the hygiene tests pin this).
+		defer func() { close(watcherStop); <-watcherDone }()
+	}
 
 	// ---- Column reduction (Section 4.1) ----
 	var reduced []attr.ID
 	if d.opts.DisableColumnReduction {
 		reduced = append(reduced, d.universe...)
 	} else {
-		red := columnsReduction(d.chk, d.universe)
+		red := columnsReductionStop(d.chk, d.universe, &d.hardStop)
 		res.Constants = red.constants
 		res.EquivClasses = red.classes
 		reduced = red.reduced
@@ -119,46 +258,74 @@ func (d *discoverer) run() *Result {
 	d.generated.Store(int64(len(level)))
 
 	// ---- Main BFS loop (Algorithm 1, lines 5–14) ----
+	var errs []error
 	levelNo := 2
 	for len(level) > 0 {
 		if d.opts.MaxLevel > 0 && levelNo > d.opts.MaxLevel {
-			res.Stats.Truncated = true
+			res.truncate(TruncateMaxLevel)
+			break
+		}
+		if r := d.reason(); r != TruncateNone {
+			res.truncate(r)
 			break
 		}
 		if d.expired() {
-			res.Stats.Truncated = true
+			res.truncate(TruncateTimeout)
 			break
 		}
-		next := d.processLevel(level, reduced, res)
+		if d.overMemoryBudget() {
+			res.truncate(TruncateMemoryBudget)
+			break
+		}
+		faultinject.Point("core.level.start")
+		next, lerr := d.processLevel(level, reduced, res)
 		res.Stats.Levels++
 		res.Stats.Candidates += int64(len(next))
+		if lerr != nil {
+			errs = append(errs, lerr)
+			res.truncate(TruncateWorkerPanic)
+			break
+		}
 		if d.opts.MaxCandidates > 0 && res.Stats.Candidates > d.opts.MaxCandidates {
-			res.Stats.Truncated = true
+			res.truncate(TruncateMaxCandidates)
 			break
 		}
 		level = next
 		levelNo++
 	}
+	// A stop that landed during the final level (workers bailed early, so
+	// the tree looks exhausted) must still mark the run partial.
+	if r := d.reason(); r != TruncateNone && !res.Stats.Truncated {
+		res.truncate(r)
+	}
 
 	res.Stats.Checks = d.chk.Checks()
 	res.Stats.Elapsed = time.Since(start)
 	sortResult(res)
-	return res
+
+	err := errors.Join(errs...)
+	if ctxErr := ctx.Err(); ctxErr != nil && err == nil {
+		err = ctxErr
+	}
+	return res, err
 }
 
 // processLevel checks every candidate of the current level, in parallel when
-// d.workers > 1, and returns the deduplicated next level.
-func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Result) []attr.Pair {
+// d.workers > 1, and returns the deduplicated next level plus any worker
+// panics (joined). A panicking worker never breaks the level barrier: its
+// recover runs before wg.Done, the remaining workers drain normally, and
+// their completed output is still merged.
+func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Result) ([]attr.Pair, error) {
 	outs := make([]workerOut, d.workers)
 	if d.workers == 1 {
-		d.processRange(level, 0, 1, reduced, &outs[0])
+		d.runWorker(level, 0, 1, reduced, &outs[0])
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < d.workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				d.processRange(level, w, d.workers, reduced, &outs[w])
+				d.runWorker(level, w, d.workers, reduced, &outs[w])
 			}(w)
 		}
 		wg.Wait()
@@ -167,11 +334,15 @@ func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Res
 	// Merge worker outputs; de-duplicate next-level candidates, which can
 	// be generated by two different parents (dropping the last attribute
 	// of either side of a candidate gives a valid parent).
+	var errs []error
 	seen := make(map[string]struct{})
 	var next []attr.Pair
 	for i := range outs {
 		res.OCDs = append(res.OCDs, outs[i].ocds...)
 		res.ODs = append(res.ODs, outs[i].ods...)
+		if outs[i].err != nil {
+			errs = append(errs, outs[i].err)
+		}
 		for _, p := range outs[i].next {
 			k := p.UnorderedKey()
 			if _, dup := seen[k]; !dup {
@@ -180,15 +351,33 @@ func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Res
 			}
 		}
 	}
-	return next
+	return next, errors.Join(errs...)
+}
+
+// runWorker isolates one worker's traversal: a panic anywhere under it
+// (candidate processing, a checker backend, the cache) converts into a
+// *PanicError naming the candidate, requests a hard stop so sibling workers
+// bail quickly, and leaves the worker's completed output intact.
+func (d *discoverer) runWorker(level []attr.Pair, from, stride int, reduced []attr.ID, out *workerOut) {
+	defer func() {
+		if v := recover(); v != nil {
+			out.err = &PanicError{Candidate: out.current, Value: v, Stack: debug.Stack()}
+			out.stopped = true
+			d.requestStop(TruncateWorkerPanic, true)
+		}
+	}()
+	d.processRange(level, from, stride, reduced, out)
 }
 
 // processRange handles candidates level[from], level[from+stride], … .
 func (d *discoverer) processRange(level []attr.Pair, from, stride int, reduced []attr.ID, out *workerOut) {
 	for i := from; i < len(level); i += stride {
-		if d.expired() || d.overBudget() {
+		if d.reason() != TruncateNone || d.overBudget() {
+			out.stopped = true
 			return
 		}
+		out.current = level[i]
+		faultinject.Point("core.worker.candidate")
 		before := len(out.next)
 		d.processCandidate(level[i], reduced, out)
 		d.generated.Add(int64(len(out.next) - before))
@@ -200,7 +389,9 @@ func (d *discoverer) processRange(level []attr.Pair, from, stride int, reduced [
 func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *workerOut) {
 	// Single check of Theorem 4.1: X ~ Y iff the OD XY → YX holds.
 	if !d.chk.CheckOCD(p.X, p.Y) {
-		// Invalid candidate: Theorem 3.7 prunes the whole subtree.
+		// Invalid candidate: Theorem 3.7 prunes the whole subtree. (A
+		// hard-stopped check also lands here: conservatively invalid, so a
+		// partially checked candidate is never emitted.)
 		return
 	}
 	out.ocds = append(out.ocds, OCD{X: p.X, Y: p.Y})
@@ -220,7 +411,7 @@ func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *worke
 	// redundant and the OD itself is emitted instead.
 	if d.chk.CheckOD(p.X, p.Y) {
 		out.ods = append(out.ods, OD{X: p.X, Y: p.Y})
-	} else {
+	} else if !d.hardStop.Load() {
 		for _, a := range free {
 			out.next = append(out.next, attr.NewPair(p.X.Append(a), p.Y))
 		}
@@ -229,7 +420,7 @@ func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *worke
 	// Right side, symmetric.
 	if d.chk.CheckOD(p.Y, p.X) {
 		out.ods = append(out.ods, OD{X: p.Y, Y: p.X})
-	} else {
+	} else if !d.hardStop.Load() {
 		for _, a := range free {
 			out.next = append(out.next, attr.NewPair(p.X, p.Y.Append(a)))
 		}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"ocd/internal/attr"
+	"ocd/internal/faultinject"
 	"ocd/internal/tarjan"
 )
 
@@ -25,6 +28,15 @@ type reduction struct {
 // representative, using Tarjan's algorithm on the directed graph of valid
 // single-attribute ODs.
 func columnsReduction(chk checker, universe []attr.ID) *reduction {
+	return columnsReductionStop(chk, universe, nil)
+}
+
+// columnsReductionStop is columnsReduction with cooperative cancellation: a
+// hard stop abandons the remaining O(n²) single-attribute OD checks. The
+// partial output stays sound — constants are detected first (cheap), and an
+// SCC built from a subset of the verified edges can only be finer than the
+// true classes, never merge inequivalent columns.
+func columnsReductionStop(chk checker, universe []attr.ID, stop *atomic.Bool) *reduction {
 	red := &reduction{classOf: make(map[attr.ID][]attr.ID)}
 	r := chk.Relation()
 
@@ -42,6 +54,10 @@ func columnsReduction(chk checker, universe []attr.ID) *reduction {
 	n := len(varying)
 	adj := make([][]int, n)
 	for i := 0; i < n; i++ {
+		if stop != nil && stop.Load() {
+			break
+		}
+		faultinject.Point("core.reduction.row")
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count drops back to the
+// baseline or the deadline passes, absorbing runtime-internal stragglers.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDiscoverContextBackgroundParity: with a background context the new
+// entry point must behave exactly like the classic Discover.
+func TestDiscoverContextBackgroundParity(t *testing.T) {
+	r := seededRelation(t, 7, 120, 6)
+	want := Discover(r, Options{Workers: 2})
+	got, err := DiscoverContext(context.Background(), r, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got.Stats.Truncated || got.Stats.Reason != TruncateNone {
+		t.Fatalf("background run marked truncated: %+v", got.Stats)
+	}
+	if !equalStrings(formatDeps(want), formatDeps(got)) {
+		t.Fatalf("results differ:\nDiscover: %v\nDiscoverContext: %v",
+			formatDeps(want), formatDeps(got))
+	}
+}
+
+// TestDiscoverContextPreCancelled: an already-cancelled context returns
+// immediately with an empty-but-well-formed partial result, the cancelled
+// reason, ctx.Err(), and no leftover goroutines.
+func TestDiscoverContextPreCancelled(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := correlatedRelation(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DiscoverContext(ctx, r, Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must be non-nil")
+	}
+	if !res.Stats.Truncated || res.Stats.Reason != TruncateCancelled {
+		t.Fatalf("stats = %+v, want truncated with reason cancelled", res.Stats)
+	}
+	assertWellFormed(t, r, res)
+	settleGoroutines(t, baseline)
+}
+
+// TestDiscoverContextCancelMidRun cancels a running discovery from another
+// goroutine. Whatever the interleaving, the partial result must be sound, a
+// subset of the full result, and leave no goroutines behind.
+func TestDiscoverContextCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := correlatedRelation(t, 400)
+	full := Discover(r, Options{Workers: 4, MaxLevel: 4})
+	fullSet := make(map[string]bool)
+	for _, d := range full.OCDs {
+		fullSet[d.X.String()+"~"+d.Y.String()] = true
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	res, err := DiscoverContext(ctx, r, Options{Workers: 4, MaxLevel: 4})
+	cancel()
+	if res == nil {
+		t.Fatal("partial result must be non-nil")
+	}
+	assertWellFormed(t, r, res)
+	for _, d := range res.OCDs {
+		if !fullSet[d.X.String()+"~"+d.Y.String()] {
+			t.Fatalf("partial result invented OCD %s ~ %s", d.X, d.Y)
+		}
+	}
+	// The cancel races the level cap; whichever wins, a cancelled reason
+	// must come with the matching error.
+	if res.Stats.Reason == TruncateCancelled && !errors.Is(err, context.Canceled) {
+		t.Fatalf("reason cancelled but err = %v", err)
+	}
+	if !res.Stats.Truncated && err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("complete run returned error %v", err)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestTruncateReasons pins the reason reported for each stop cause, and
+// that Truncated stays set alongside it for compatibility.
+func TestTruncateReasons(t *testing.T) {
+	r := correlatedRelation(t, 200)
+	cases := []struct {
+		name string
+		opts Options
+		ctx  func() (context.Context, context.CancelFunc)
+		want TruncateReason
+	}{
+		{"level-cap", Options{MaxLevel: 2}, nil, TruncateMaxLevel},
+		{"candidate-cap", Options{MaxCandidates: 20, Workers: 2}, nil, TruncateMaxCandidates},
+		{"timeout-option", Options{Timeout: time.Nanosecond}, nil, TruncateTimeout},
+		{"cancelled", Options{}, func() (context.Context, context.CancelFunc) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return ctx, cancel
+		}, TruncateCancelled},
+		{"deadline-as-timeout", Options{}, func() (context.Context, context.CancelFunc) {
+			return context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		}, TruncateTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			if tc.ctx != nil {
+				var cancel context.CancelFunc
+				ctx, cancel = tc.ctx()
+				defer cancel()
+			}
+			res, _ := DiscoverContext(ctx, r, tc.opts)
+			if !res.Stats.Truncated {
+				t.Fatalf("run not truncated: %+v", res.Stats)
+			}
+			if res.Stats.Reason != tc.want {
+				t.Fatalf("reason = %q, want %q", res.Stats.Reason, tc.want)
+			}
+		})
+	}
+}
+
+// TestTruncateReasonStrings pins the wire names surfaced in CLI/JSON output.
+func TestTruncateReasonStrings(t *testing.T) {
+	want := map[TruncateReason]string{
+		TruncateNone:          "",
+		TruncateTimeout:       "timeout",
+		TruncateMaxCandidates: "candidate-cap",
+		TruncateMaxLevel:      "level-cap",
+		TruncateCancelled:     "cancelled",
+		TruncateMemoryBudget:  "memory-budget",
+		TruncateWorkerPanic:   "worker-panic",
+	}
+	for reason, s := range want {
+		if reason.String() != s {
+			t.Errorf("%d.String() = %q, want %q", reason, reason.String(), s)
+		}
+	}
+}
+
+// TestMemoryBudget: an absurdly small budget truncates with the distinct
+// memory-budget reason after releasing the caches at least once; a huge
+// budget changes nothing.
+func TestMemoryBudget(t *testing.T) {
+	r := correlatedRelation(t, 200)
+	res := Discover(r, Options{MaxMemoryBytes: 1})
+	if !res.Stats.Truncated || res.Stats.Reason != TruncateMemoryBudget {
+		t.Fatalf("stats = %+v, want truncated with reason memory-budget", res.Stats)
+	}
+	if res.Stats.MemoryReleases == 0 {
+		t.Fatal("degradation must release the caches before truncating")
+	}
+	assertWellFormed(t, r, res)
+
+	want := Discover(r, Options{})
+	got := Discover(r, Options{MaxMemoryBytes: 1 << 40})
+	if got.Stats.Truncated {
+		t.Fatalf("huge budget truncated the run: %+v", got.Stats)
+	}
+	if !equalStrings(formatDeps(want), formatDeps(got)) {
+		t.Fatal("huge budget changed the results")
+	}
+}
+
+// TestGoroutineHygieneAfterTimeout: a run stopped by the soft timeout (and
+// one by a context deadline) must leave the goroutine count at baseline —
+// the watcher is joined before DiscoverContext returns.
+func TestGoroutineHygieneAfterTimeout(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := correlatedRelation(t, 200)
+	for i := 0; i < 5; i++ {
+		res := Discover(r, Options{Timeout: time.Nanosecond, Workers: 4})
+		if !res.Stats.Truncated {
+			t.Fatal("1ns timeout must truncate")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if _, err := DiscoverContext(ctx, r, Options{Workers: 4}); err == nil {
+			// A fast machine may finish in under 1ms; that is fine.
+			_ = err
+		}
+		cancel()
+	}
+	settleGoroutines(t, baseline)
+}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"ocd/internal/attr"
@@ -80,6 +81,12 @@ type Options struct {
 	// per-candidate index sorts. Results are identical; the backends trade
 	// memory for derivation reuse differently.
 	UseSortedPartitions bool
+	// MaxMemoryBytes is a soft heap budget, checked via runtime.ReadMemStats
+	// at level boundaries. When crossed the engine first releases the
+	// checker's index/partition cache and forces a GC; if the heap is still
+	// over budget the run truncates with TruncateMemoryBudget instead of
+	// growing toward an OOM kill. Zero means no budget.
+	MaxMemoryBytes int64
 }
 
 const defaultIndexCacheSize = 64
@@ -89,6 +96,49 @@ func (o Options) workers() int {
 		return 0 // resolved by the discoverer to GOMAXPROCS
 	}
 	return o.Workers
+}
+
+// TruncateReason explains why a run returned partial results.
+type TruncateReason int
+
+const (
+	// TruncateNone: the run completed the full traversal.
+	TruncateNone TruncateReason = iota
+	// TruncateTimeout: Options.Timeout (or the parent context's deadline)
+	// expired.
+	TruncateTimeout
+	// TruncateMaxCandidates: the candidate budget of Options.MaxCandidates
+	// was exhausted.
+	TruncateMaxCandidates
+	// TruncateMaxLevel: the traversal reached Options.MaxLevel.
+	TruncateMaxLevel
+	// TruncateCancelled: the caller's context was cancelled.
+	TruncateCancelled
+	// TruncateMemoryBudget: the heap stayed over Options.MaxMemoryBytes
+	// even after releasing the checker caches.
+	TruncateMemoryBudget
+	// TruncateWorkerPanic: a level worker panicked; the partial Result is
+	// accompanied by a *PanicError.
+	TruncateWorkerPanic
+)
+
+// String names the reason; TruncateNone renders as the empty string.
+func (t TruncateReason) String() string {
+	switch t {
+	case TruncateTimeout:
+		return "timeout"
+	case TruncateMaxCandidates:
+		return "candidate-cap"
+	case TruncateMaxLevel:
+		return "level-cap"
+	case TruncateCancelled:
+		return "cancelled"
+	case TruncateMemoryBudget:
+		return "memory-budget"
+	case TruncateWorkerPanic:
+		return "worker-panic"
+	}
+	return ""
 }
 
 // Stats aggregates counters of a run, the execution statistics of Table 6.
@@ -103,9 +153,15 @@ type Stats struct {
 	Levels int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
-	// Truncated indicates the run hit Timeout or MaxCandidates and the
-	// results are partial (the paper reports these rows with a †).
+	// Truncated indicates the results are partial (the paper reports these
+	// rows with a †). Kept alongside Reason for compatibility.
 	Truncated bool
+	// Reason records why the run truncated; TruncateNone on complete runs.
+	Reason TruncateReason
+	// MemoryReleases counts how often the soft memory budget forced the
+	// checker caches to be dropped (graceful degradation short of
+	// truncating the run).
+	MemoryReleases int
 }
 
 // Result is the output of a discovery run.
@@ -134,3 +190,34 @@ func (r *Result) NumOCDs() int { return len(r.OCDs) }
 
 // NumODs returns len(ODs).
 func (r *Result) NumODs() int { return len(r.ODs) }
+
+// truncate marks the result partial; the first reason recorded wins.
+func (r *Result) truncate(reason TruncateReason) {
+	r.Stats.Truncated = true
+	if r.Stats.Reason == TruncateNone {
+		r.Stats.Reason = reason
+	}
+}
+
+// PanicError reports a panic recovered during discovery. Worker panics
+// carry the candidate that was being processed; panics recovered at the
+// DiscoverContext boundary (outside the level workers) leave Candidate
+// empty. The run's partial Result is returned alongside the error.
+type PanicError struct {
+	// Candidate is the candidate pair the worker was processing, when the
+	// panic happened inside a level worker.
+	Candidate attr.Pair
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its candidate when one is attached.
+func (e *PanicError) Error() string {
+	if len(e.Candidate.X) > 0 || len(e.Candidate.Y) > 0 {
+		return fmt.Sprintf("ocd: worker panic on candidate %s ~ %s: %v",
+			e.Candidate.X, e.Candidate.Y, e.Value)
+	}
+	return fmt.Sprintf("ocd: panic during discovery: %v", e.Value)
+}

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,6 +46,31 @@ type Scale struct {
 	ColSamples   int           // paper: 50 samples per column count
 	MaxThreads   int           // paper: 12 hyper-threaded cores
 	MaxCand      int64         // candidate cap guarding blow-up runs
+
+	// Ctx, when non-nil, cancels a whole experiment suite cooperatively:
+	// in-flight discovery runs stop within milliseconds and measurement
+	// loops break at the next sample. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx resolves the scale's context, defaulting to Background.
+func (s Scale) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// cancelled reports whether the suite's context has ended; measurement
+// loops poll it between samples.
+func (s Scale) cancelled() bool { return s.ctx().Err() != nil }
+
+// discover runs one measured discovery under the scale's context; partial
+// (cancelled) runs still return their result so in-progress series keep the
+// samples already measured.
+func discover(s Scale, r *relation.Relation, opts core.Options) *core.Result {
+	res, _ := core.DiscoverContext(s.ctx(), r, opts) // lint:allow errdrop — cancellation is polled via s.cancelled(); partial samples are kept
+	return res
 }
 
 // DefaultScale returns the laptop-scale settings used by cmd/experiments.
@@ -149,6 +175,9 @@ func Table6(s Scale, datasets []string) []Table6Row {
 	}
 	rows := make([]Table6Row, 0, len(datasets))
 	for _, name := range datasets {
+		if s.cancelled() {
+			break
+		}
 		r := Dataset(name, s)
 		row := Table6Row{Dataset: name, Rows: r.NumRows(), Cols: r.NumCols()}
 
@@ -179,7 +208,7 @@ func Table6(s Scale, datasets []string) []Table6Row {
 			row.FastodTrunc = true
 		}
 
-		cres := core.Discover(r, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		cres := discover(s, r, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		row.OcdOCDs = len(cres.OCDs)
 		row.OcdODs = cres.CountExpandedODs()
 		row.OcdChecks = cres.Stats.Checks
@@ -264,11 +293,14 @@ func Fig2RowScalability(s Scale) map[string][]SeriesPoint {
 	for _, base := range []*relation.Relation{datagen.LineItem(s.LineItemRows), nv20} {
 		var series []SeriesPoint
 		for pct := 10; pct <= 100; pct += 10 {
+			if s.cancelled() {
+				break
+			}
 			sub := sampleRows(base, float64(pct)/100)
 			var total time.Duration
 			var deps int64
 			for rep := 0; rep < s.Reps; rep++ {
-				res := core.Discover(sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+				res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 				total += res.Stats.Elapsed
 				deps = res.CountExpandedODs()
 			}
@@ -291,6 +323,9 @@ func ColScalability(dataset string, s Scale) []SeriesPoint {
 	rng := rand.New(rand.NewSource(2))
 	var series []SeriesPoint
 	for nc := 2; nc <= base.NumCols(); nc++ {
+		if s.cancelled() {
+			break
+		}
 		var total time.Duration
 		var deps int64
 		for rep := 0; rep < s.ColSamples; rep++ {
@@ -300,7 +335,7 @@ func ColScalability(dataset string, s Scale) []SeriesPoint {
 				cols[i] = attr.ID(p)
 			}
 			sub := base.Project(cols)
-			res := core.Discover(sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+			res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 			total += res.Stats.Elapsed
 			deps += res.CountExpandedODs()
 		}
@@ -334,12 +369,15 @@ func Fig5SingleRun(s Scale) []SeriesPoint {
 
 	var series []SeriesPoint
 	for nc := 2; nc <= len(order); nc++ {
+		if s.cancelled() {
+			break
+		}
 		cols := make([]attr.ID, nc)
 		for i := 0; i < nc; i++ {
 			cols[i] = attr.ID(order[i])
 		}
 		sub := base.Project(cols)
-		res := core.Discover(sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		series = append(series, SeriesPoint{
 			X:       float64(nc),
 			Elapsed: res.Stats.Elapsed,
@@ -367,9 +405,12 @@ func Fig6Threads(s Scale) map[string][]ThreadPoint {
 		var pts []ThreadPoint
 		var base time.Duration
 		for th := 1; th <= s.MaxThreads; th *= 2 {
+			if s.cancelled() {
+				break
+			}
 			var best time.Duration
 			for rep := 0; rep < s.Reps; rep++ {
-				res := core.Discover(r, core.Options{
+				res := discover(s, r, core.Options{
 					Workers: th, Timeout: s.Timeout, MaxCandidates: s.MaxCand,
 				})
 				if rep == 0 || res.Stats.Elapsed < best {
@@ -401,12 +442,15 @@ func Fig7EntropyOrdered(s Scale, maxCols int) []SeriesPoint {
 	}
 	var series []SeriesPoint
 	for nc := 2; nc <= maxCols; nc++ {
+		if s.cancelled() {
+			break
+		}
 		cols := make([]attr.ID, nc)
 		for i := 0; i < nc; i++ {
 			cols[i] = ranked[i].Col
 		}
 		sub := base.Project(cols)
-		res := core.Discover(sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		truncated := int64(0)
 		if res.Stats.Truncated {
 			truncated = 1
@@ -488,9 +532,12 @@ func Ablations(s Scale) []AblationPoint {
 	r := Dataset("DBTESMA_1K", s)
 	var out []AblationPoint
 	run := func(config string, opts core.Options) {
+		if s.cancelled() {
+			return
+		}
 		opts.Timeout = s.Timeout
 		opts.MaxCandidates = s.MaxCand
-		res := core.Discover(r, opts)
+		res := discover(s, r, opts)
 		out = append(out, AblationPoint{Config: config, Elapsed: res.Stats.Elapsed, Checks: res.Stats.Checks})
 	}
 	run("baseline", core.Options{})

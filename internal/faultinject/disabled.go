@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = false
+
+// Point is a no-op without the faultinject build tag; the compiler inlines
+// the empty body away, so hooks in hot loops cost nothing.
+func Point(string) {}
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(string, Rule) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm(string) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Hits always reports zero without the faultinject build tag.
+func Hits(string) int64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// TestDisabledIsInert pins the production contract: without the build tag,
+// arming a point does nothing, hitting it does nothing, and no state is
+// kept — the hooks must be free to leave in hot paths.
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultinject tag")
+	}
+	Arm("x", Rule{Action: ActionPanic, Nth: 1})
+	defer Reset()
+	// An armed panic point must not fire.
+	Point("x")
+	Point("x")
+	if got := Hits("x"); got != 0 {
+		t.Errorf("Hits = %d without the tag, want 0", got)
+	}
+	Disarm("x")
+}

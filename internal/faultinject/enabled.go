@@ -1,0 +1,91 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+// armed is one active injection point: its rule plus a hit counter.
+type armed struct {
+	rule Rule
+	hits atomic.Int64
+}
+
+// points maps point names to *armed. A sync.Map keeps the hot Point call
+// lock-free for the common case (point not armed).
+var points sync.Map
+
+// armedCount tracks how many points are armed so Point can bail with a
+// single atomic load when nothing is configured.
+var armedCount atomic.Int64
+
+// Arm activates the rule at the named point, replacing any existing rule
+// and resetting the hit counter.
+func Arm(point string, r Rule) {
+	if _, loaded := points.Swap(point, &armed{rule: r}); !loaded {
+		armedCount.Add(1)
+	}
+}
+
+// Disarm deactivates the named point.
+func Disarm(point string) {
+	if _, loaded := points.LoadAndDelete(point); loaded {
+		armedCount.Add(-1)
+	}
+}
+
+// Reset deactivates every point. Call it at the start of each chaos test.
+func Reset() {
+	points.Range(func(k, _ any) bool {
+		points.Delete(k)
+		return true
+	})
+	armedCount.Store(0)
+}
+
+// Hits returns how many times the named point has been reached since it was
+// armed (whether or not its trigger fired).
+func Hits(point string) int64 {
+	if v, ok := points.Load(point); ok {
+		return v.(*armed).hits.Load()
+	}
+	return 0
+}
+
+// Point is the hook library code places at an interesting failure site.
+// When the named point is armed and its trigger matches the current hit
+// count, the configured action fires on the calling goroutine.
+func Point(name string) {
+	if armedCount.Load() == 0 {
+		return
+	}
+	v, ok := points.Load(name)
+	if !ok {
+		return
+	}
+	a := v.(*armed)
+	n := a.hits.Add(1)
+	fire := (a.rule.Nth > 0 && n == a.rule.Nth) ||
+		(a.rule.EveryK > 0 && n%a.rule.EveryK == 0)
+	if !fire {
+		return
+	}
+	switch a.rule.Action {
+	case ActionPanic:
+		// lint:allow panic — the whole purpose of this build-tagged package
+		// is to throw controlled panics at the engine's recovery paths.
+		panic(PanicValue{Point: name})
+	case ActionDelay:
+		time.Sleep(a.rule.Delay)
+	case ActionCancel:
+		if a.rule.Call != nil {
+			a.rule.Call()
+		}
+	}
+}

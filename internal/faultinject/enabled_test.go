@@ -1,0 +1,143 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNthHitFiresExactlyOnce drives a panic rule through 10 hits and
+// asserts the panic lands on the 4th hit and only there.
+func TestNthHitFiresExactlyOnce(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Rule{Action: ActionPanic, Nth: 4})
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					pv, ok := v.(PanicValue)
+					if !ok || pv.Point != "p" {
+						t.Fatalf("unexpected panic value %v", v)
+					}
+					if i != 4 {
+						t.Fatalf("panic fired on hit %d, want 4", i)
+					}
+					fired++
+				}
+			}()
+			Point("p")
+		}()
+	}
+	if fired != 1 {
+		t.Fatalf("panic fired %d times, want exactly once", fired)
+	}
+	if got := Hits("p"); got != 10 {
+		t.Errorf("Hits = %d, want 10", got)
+	}
+}
+
+// TestEveryKFiresPeriodically checks the every-k trigger with a cancel
+// action: 3, 6 and 9 of 10 hits fire.
+func TestEveryKFiresPeriodically(t *testing.T) {
+	Reset()
+	defer Reset()
+	calls := 0
+	Arm("c", Rule{Action: ActionCancel, EveryK: 3, Call: func() { calls++ }})
+	for i := 0; i < 10; i++ {
+		Point("c")
+	}
+	if calls != 3 {
+		t.Errorf("cancel fired %d times over 10 hits with EveryK=3, want 3", calls)
+	}
+}
+
+// TestDelayAction measures that an armed delay actually sleeps.
+func TestDelayAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("d", Rule{Action: ActionDelay, Delay: 20 * time.Millisecond, Nth: 1})
+	start := time.Now()
+	Point("d")
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("delay point returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+// TestUnarmedPointIsFree: hitting a point that was never armed keeps no
+// state and fires nothing.
+func TestUnarmedPointIsFree(t *testing.T) {
+	Reset()
+	defer Reset()
+	Point("nobody")
+	if got := Hits("nobody"); got != 0 {
+		t.Errorf("Hits = %d for unarmed point, want 0", got)
+	}
+}
+
+// TestDisarmAndReset clear rules and counters.
+func TestDisarmAndReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("a", Rule{Action: ActionPanic, Nth: 1})
+	Disarm("a")
+	Point("a") // must not panic
+	if got := Hits("a"); got != 0 {
+		t.Errorf("Hits = %d after Disarm, want 0", got)
+	}
+	Arm("b", Rule{Action: ActionPanic, Nth: 1})
+	Reset()
+	Point("b") // must not panic
+}
+
+// TestRearmResetsCounter: re-arming a point restarts its hit count, so a
+// fresh Nth trigger can fire again.
+func TestRearmResetsCounter(t *testing.T) {
+	Reset()
+	defer Reset()
+	calls := 0
+	Arm("r", Rule{Action: ActionCancel, Nth: 2, Call: func() { calls++ }})
+	Point("r")
+	Point("r")
+	Arm("r", Rule{Action: ActionCancel, Nth: 2, Call: func() { calls++ }})
+	Point("r")
+	Point("r")
+	if calls != 2 {
+		t.Errorf("cancel fired %d times across two armings, want 2", calls)
+	}
+}
+
+// TestConcurrentHitsDeterministicTotal: the hit counter is a single atomic
+// shared across goroutines, so a concurrent workload still fires an Nth
+// trigger exactly once.
+func TestConcurrentHitsDeterministicTotal(t *testing.T) {
+	Reset()
+	defer Reset()
+	var mu sync.Mutex
+	fired := 0
+	Arm("conc", Rule{Action: ActionCancel, Nth: 50, Call: func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				Point("conc")
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Errorf("Nth trigger fired %d times under concurrency, want 1", fired)
+	}
+	if got := Hits("conc"); got != 200 {
+		t.Errorf("Hits = %d, want 200", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Package faultinject provides named, deterministic fault-injection points
+// for chaos-testing the discovery engine.
+//
+// Library code marks interesting failure sites with Point("pkg.site"); tests
+// built with the faultinject build tag arm a point with a Rule that fires a
+// panic, a delay, or a cooperative cancel on a deterministic hit (the nth
+// call, or every k-th call). Without the tag every function in this package
+// compiles to an empty body, so the hooks cost nothing in production builds.
+//
+// A chaos test typically looks like:
+//
+//	faultinject.Reset()
+//	faultinject.Arm("core.worker.candidate", faultinject.Rule{
+//		Action: faultinject.ActionPanic,
+//		Nth:    16, // first candidate of the second level on a 6-column table
+//	})
+//	res, err := core.DiscoverContext(ctx, rel, opts)
+//	// assert: err is a *core.PanicError, res holds every completed level
+//
+// Run such tests with `go test -tags=faultinject ./...` (`make chaos`).
+// docs/ROBUSTNESS.md documents the available points and the conventions for
+// adding new ones.
+package faultinject
+
+import "time"
+
+// Action selects what an armed point does when its trigger fires.
+type Action int
+
+const (
+	// ActionPanic panics with a PanicValue carrying the point name,
+	// exercising the engine's recover/partial-result paths.
+	ActionPanic Action = iota
+	// ActionDelay sleeps for Rule.Delay, widening race windows and
+	// simulating slow workers.
+	ActionDelay
+	// ActionCancel invokes Rule.Call, typically a context.CancelFunc,
+	// landing a cancellation at an exact point in the computation.
+	ActionCancel
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionPanic:
+		return "panic"
+	case ActionDelay:
+		return "delay"
+	case ActionCancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// Rule configures an armed injection point. Exactly one trigger should be
+// set: Nth fires on the nth hit only (1-based), EveryK fires on every k-th
+// hit. Both use a per-point atomic hit counter, so firings are deterministic
+// for a fixed workload even under concurrency (the counter is global across
+// goroutines).
+type Rule struct {
+	// Action is what happens when the trigger fires.
+	Action Action
+	// Delay is the sleep duration for ActionDelay.
+	Delay time.Duration
+	// Call is invoked for ActionCancel; typically a context.CancelFunc.
+	Call func()
+	// Nth fires the action on exactly the nth hit of the point (1-based);
+	// 0 disables this trigger.
+	Nth int64
+	// EveryK fires the action on every k-th hit; 0 disables this trigger.
+	EveryK int64
+}
+
+// PanicValue is the value an ActionPanic point panics with; recovery sites
+// can identify injected panics by type-asserting against it.
+type PanicValue struct {
+	// Point is the name of the injection point that fired.
+	Point string
+}
+
+// String renders the panic value for error messages.
+func (v PanicValue) String() string { return "fault injected at " + v.Point }

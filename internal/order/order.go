@@ -17,8 +17,18 @@ import (
 	"sync/atomic"
 
 	"ocd/internal/attr"
+	"ocd/internal/faultinject"
 	"ocd/internal/relation"
 )
+
+// stopCheckMask throttles cooperative-stop polling inside sort comparators
+// and row scans: the atomic flag is loaded once per (mask+1) iterations, so
+// the hot path costs a local counter increment and the occasional load.
+const stopCheckMask = 1023
+
+// stopSort is the sentinel a stop-aware comparator throws to abort a
+// sort.Slice in progress; sortIdxByColsStop recovers it.
+type stopSort struct{}
 
 // CompareRows compares tuples at row positions i and j on the attribute list
 // X under the ⪯ operator of Definition 2.1, returning -1, 0 or 1. NULLs sort
@@ -96,6 +106,12 @@ type Checker struct {
 
 	checks atomic.Int64
 	sorts  atomic.Int64
+
+	// stop, when non-nil and true, aborts checks cooperatively: index
+	// builds bail mid-sort, scans bail mid-row, aborted checks report
+	// invalid, and nothing partial is ever cached. Armed by the discovery
+	// engine's context watcher.
+	stop *atomic.Bool
 }
 
 // NewChecker returns a Checker over r whose index cache holds at most
@@ -110,6 +126,25 @@ func NewChecker(r *relation.Relation, cacheCap int) *Checker {
 
 // Relation returns the relation the checker operates on.
 func (c *Checker) Relation() *relation.Relation { return c.r }
+
+// SetStopFlag arms cooperative cancellation: once *stop is true, in-flight
+// and future checks abort quickly and conservatively report the candidate
+// invalid (callers observing the flag must discard, not trust, aborted
+// answers). Not safe to call concurrently with checks.
+func (c *Checker) SetStopFlag(stop *atomic.Bool) { c.stop = stop }
+
+// stopped reports whether a cooperative stop has been requested.
+func (c *Checker) stopped() bool { return c.stop != nil && c.stop.Load() }
+
+// ReleaseMemory drops every cached sorted index, the degradation step of
+// the engine's soft memory budget. The checker stays fully usable; later
+// lookups rebuild (and re-cache) their indexes.
+func (c *Checker) ReleaseMemory() {
+	c.mu.Lock()
+	c.cache = make(map[string][]int32)
+	c.fifo = nil
+	c.mu.Unlock()
+}
 
 // Checks returns the number of candidate checks performed so far, the
 // "#checks" statistic of Table 6.
@@ -126,7 +161,8 @@ func (c *Checker) ResetStats() {
 
 // SortedIndex returns row positions sorted ascending by list x under ⪯
 // (generateIndex in Algorithm 2). The result is shared via the cache: do not
-// mutate it.
+// mutate it. A nil return means the build was aborted by the stop flag; the
+// partial index is discarded, never cached.
 func (c *Checker) SortedIndex(x attr.List) []int32 {
 	key := x.Key()
 	if c.cap > 0 {
@@ -137,10 +173,14 @@ func (c *Checker) SortedIndex(x attr.List) []int32 {
 		}
 		c.mu.Unlock()
 	}
-	idx := c.buildIndex(x)
+	idx, ok := c.buildIndex(x)
+	if !ok {
+		return nil
+	}
 	if c.cap > 0 {
+		faultinject.Point("order.checker.cacheput")
 		c.mu.Lock()
-		if _, ok := c.cache[key]; !ok {
+		if _, dup := c.cache[key]; !dup {
 			if len(c.fifo) >= c.cap {
 				oldest := c.fifo[0]
 				c.fifo = c.fifo[1:]
@@ -155,11 +195,13 @@ func (c *Checker) SortedIndex(x attr.List) []int32 {
 }
 
 // buildIndex is generateIndex of Algorithm 2: a fresh sorted index over x.
+// ok is false when the build aborted on the stop flag; the returned index
+// is then partial garbage and must be discarded.
 // lint:hot
-func (c *Checker) buildIndex(x attr.List) []int32 {
+func (c *Checker) buildIndex(x attr.List) ([]int32, bool) {
 	c.sorts.Add(1)
 	if c.useRadix(x) {
-		return buildIndexRadix(c.r, x)
+		return buildIndexRadix(c.r, x, c.stop)
 	}
 	r := c.r
 	idx := make([]int32, r.NumRows())
@@ -171,8 +213,10 @@ func (c *Checker) buildIndex(x attr.List) []int32 {
 	for i, a := range x {
 		cols[i] = r.Col(a)
 	}
-	sortIdxByCols(idx, cols)
-	return idx
+	if !sortIdxByColsStop(idx, cols, c.stop) {
+		return nil, false
+	}
+	return idx, true
 }
 
 // sortIdxByCols sorts row positions lexicographically by the given code
@@ -191,6 +235,47 @@ func sortIdxByCols(idx []int32, cols [][]int32) {
 	})
 }
 
+// sortIdxByColsStop is sortIdxByCols with cooperative abort: the comparator
+// polls the stop flag every stopCheckMask+1 comparisons and unwinds the
+// in-progress sort with a sentinel panic, so a cancel lands mid-sort even
+// on multi-million-row levels. Returns false when aborted (idx is then
+// partially permuted and must be discarded).
+func sortIdxByColsStop(idx []int32, cols [][]int32, stop *atomic.Bool) (ok bool) {
+	if stop == nil {
+		sortIdxByCols(idx, cols)
+		return true
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			if _, aborted := v.(stopSort); aborted {
+				ok = false
+				return
+			}
+			// lint:allow panic — re-raise foreign panics untouched; only
+			// the stopSort sentinel belongs to this abort protocol.
+			panic(v)
+		}
+	}()
+	var tick uint32
+	sort.Slice(idx, func(a, b int) bool {
+		tick++
+		if tick&stopCheckMask == 0 && stop.Load() {
+			// lint:allow panic — sort.Slice has no abort API; the sentinel
+			// unwinds to the recover above and converts to ok=false.
+			panic(stopSort{})
+		}
+		ia, ib := idx[a], idx[b]
+		for _, col := range cols {
+			va, vb := col[ia], col[ib]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return ia < ib
+	})
+	return true
+}
+
 // CheckOCD reports whether the order compatibility dependency X ~ Y holds.
 // By Theorem 4.1 this needs the single OD check XY → YX: sorting by the
 // concatenation XY makes splits impossible (ties on XY are ties on YX), so
@@ -199,11 +284,18 @@ func sortIdxByCols(idx []int32, cols [][]int32) {
 // lint:hot
 func (c *Checker) CheckOCD(x, y attr.List) bool {
 	c.checks.Add(1)
+	faultinject.Point("order.checker.check")
 	lhs := x.Concat(y)
 	rhs := y.Concat(x)
 	idx := c.SortedIndex(lhs)
+	if idx == nil {
+		return false // aborted build: conservatively invalid
+	}
 	r := c.r
 	for i := 0; i+1 < len(idx); i++ {
+		if uint32(i)&stopCheckMask == 0 && c.stopped() {
+			return false // aborted scan: conservatively invalid
+		}
 		p, q := int(idx[i]), int(idx[i+1])
 		for _, a := range rhs {
 			cp, cq := r.Code(p, a), r.Code(q, a)
@@ -223,9 +315,16 @@ func (c *Checker) CheckOCD(x, y attr.List) bool {
 // lint:hot
 func (c *Checker) CheckOD(x, y attr.List) bool {
 	c.checks.Add(1)
+	faultinject.Point("order.checker.check")
 	idx := c.SortedIndex(x.Concat(y))
+	if idx == nil {
+		return false // aborted build: conservatively invalid
+	}
 	r := c.r
 	for i := 0; i+1 < len(idx); i++ {
+		if uint32(i)&stopCheckMask == 0 && c.stopped() {
+			return false // aborted scan: conservatively invalid
+		}
 		p, q := int(idx[i]), int(idx[i+1])
 		cx := CompareRows(r, p, q, x)
 		cy := CompareRows(r, p, q, y)
@@ -246,10 +345,19 @@ func (c *Checker) CheckOD(x, y attr.List) bool {
 // exists then some adjacent pair exhibits one, so the scan is complete.
 func (c *Checker) CheckODFull(x, y attr.List) ODResult {
 	c.checks.Add(1)
+	faultinject.Point("order.checker.check")
 	idx := c.SortedIndex(x.Concat(y))
+	if idx == nil {
+		// Aborted build: conservatively report both violation kinds so no
+		// pruning rule treats the candidate as verified.
+		return ODResult{HasSplit: true, HasSwap: true}
+	}
 	r := c.r
 	res := ODResult{Valid: true}
 	for i := 0; i+1 < len(idx); i++ {
+		if uint32(i)&stopCheckMask == 0 && c.stopped() {
+			return ODResult{HasSplit: true, HasSwap: true} // aborted scan
+		}
 		p, q := int(idx[i]), int(idx[i+1])
 		cx := CompareRows(r, p, q, x)
 		cy := CompareRows(r, p, q, y)

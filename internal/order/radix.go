@@ -1,6 +1,8 @@
 package order
 
 import (
+	"sync/atomic"
+
 	"ocd/internal/attr"
 	"ocd/internal/relation"
 )
@@ -20,17 +22,25 @@ const radixThreshold = 4096
 // buildIndexRadix sorts row positions by the list using per-column stable
 // counting sorts, last attribute first. The final tie-break (original row
 // order) falls out of stability: the initial index is ascending.
-func buildIndexRadix(r *relation.Relation, x attr.List) []int32 {
+//
+// The stop flag is polled between counting passes and every stopCheckMask+1
+// rows inside each pass, so a cancel lands in milliseconds even mid-pass on
+// multi-million-row relations. ok is false when the build aborted; the
+// returned index is then partial and must be discarded.
+func buildIndexRadix(r *relation.Relation, x attr.List, stop *atomic.Bool) ([]int32, bool) {
 	m := r.NumRows()
 	idx := make([]int32, m)
 	for i := range idx {
 		idx[i] = int32(i)
 	}
 	if m == 0 || len(x) == 0 {
-		return idx
+		return idx, true
 	}
 	buf := make([]int32, m)
 	for pos := len(x) - 1; pos >= 0; pos-- {
+		if stop != nil && stop.Load() {
+			return nil, false // aborted between passes
+		}
 		a := x[pos]
 		codes := r.Col(a)
 		// Domain: codes are dense on a freshly encoded relation, but row
@@ -38,7 +48,10 @@ func buildIndexRadix(r *relation.Relation, x attr.List) []int32 {
 		// may be sparse in it, so size the counters by the maximum code
 		// actually present rather than by the distinct count.
 		maxCode := int32(0)
-		for _, row := range idx {
+		for i, row := range idx {
+			if uint32(i)&stopCheckMask == 0 && stop != nil && stop.Load() {
+				return nil, false // aborted mid-pass
+			}
 			if c := codes[row]; c > maxCode {
 				maxCode = c
 			}
@@ -51,14 +64,17 @@ func buildIndexRadix(r *relation.Relation, x attr.List) []int32 {
 		for c := 1; c <= k; c++ {
 			counts[c] += counts[c-1]
 		}
-		for _, row := range idx {
+		for i, row := range idx {
+			if uint32(i)&stopCheckMask == 0 && stop != nil && stop.Load() {
+				return nil, false // aborted mid-pass
+			}
 			c := codes[row]
 			buf[counts[c]] = row
 			counts[c]++
 		}
 		idx, buf = buf, idx
 	}
-	return idx
+	return idx, true
 }
 
 // useRadix decides whether the radix builder is profitable for the list:
@@ -80,7 +96,8 @@ func (c *Checker) useRadix(x attr.List) bool {
 // BuildIndexRadixForBench exposes the radix builder to the ablation
 // benchmarks in the repository root.
 func BuildIndexRadixForBench(r *relation.Relation, x attr.List) []int32 {
-	return buildIndexRadix(r, x)
+	idx, _ := buildIndexRadix(r, x, nil)
+	return idx
 }
 
 // BuildIndexComparisonForBench exposes the comparison-sort builder to the

@@ -32,7 +32,10 @@ func TestRadixMatchesComparisonSort(t *testing.T) {
 		for _, p := range rng.Perm(nc)[:1+rng.Intn(nc)] {
 			x = append(x, attr.ID(p))
 		}
-		radix := buildIndexRadix(r, x)
+		radix, ok := buildIndexRadix(r, x, nil)
+		if !ok {
+			t.Fatal("nil stop flag must never abort")
+		}
 		comparison := referenceSort(r, x)
 		for i := range radix {
 			if radix[i] != comparison[i] {
@@ -64,7 +67,7 @@ func TestRadixWithNulls(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := attr.NewList(0, 1)
-	radix := buildIndexRadix(r, x)
+	radix, _ := buildIndexRadix(r, x, nil)
 	want := referenceSort(r, x)
 	for i := range want {
 		if radix[i] != want[i] {
@@ -79,11 +82,11 @@ func TestRadixWithNulls(t *testing.T) {
 
 func TestRadixEmptyCases(t *testing.T) {
 	empty := relation.FromInts("e", []string{"A"}, nil)
-	if got := buildIndexRadix(empty, attr.NewList(0)); len(got) != 0 {
+	if got, _ := buildIndexRadix(empty, attr.NewList(0), nil); len(got) != 0 {
 		t.Error("empty relation should give empty index")
 	}
 	r := relation.FromInts("t", []string{"A"}, [][]int{{3}, {1}})
-	if got := buildIndexRadix(r, attr.List{}); got[0] != 0 || got[1] != 1 {
+	if got, _ := buildIndexRadix(r, attr.List{}, nil); got[0] != 0 || got[1] != 1 {
 		t.Error("empty list should keep original order")
 	}
 }
@@ -144,7 +147,7 @@ func TestRadixOnRowSlices(t *testing.T) {
 	// the reference sort.
 	head := r.HeadRows(6000) // above radixThreshold
 	x := attr.NewList(0, 1)
-	got := buildIndexRadix(head, x)
+	got, _ := buildIndexRadix(head, x, nil)
 	want := referenceSort(head, x)
 	for i := range want {
 		if got[i] != want[i] {
@@ -155,7 +158,7 @@ func TestRadixOnRowSlices(t *testing.T) {
 	c := NewChecker(head, 4)
 	c.CheckOCD(attr.NewList(0), attr.NewList(1))
 	sel := r.SelectRows([]int{9999, 0, 5000, 42, 4999, 7777})
-	got = buildIndexRadix(sel, x)
+	got, _ = buildIndexRadix(sel, x, nil)
 	want = referenceSort(sel, x)
 	for i := range want {
 		if got[i] != want[i] {

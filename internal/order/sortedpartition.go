@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"ocd/internal/attr"
+	"ocd/internal/faultinject"
 	"ocd/internal/relation"
 )
 
@@ -53,16 +54,30 @@ func Base(numRows int) *SortedPartition {
 // Extend derives the sorted partition of list∘[a] from the partition of
 // list: each class is stably counting-sorted by a's codes and split at code
 // changes.
-// lint:hot
 func (sp *SortedPartition) Extend(r *relation.Relation, a attr.ID) *SortedPartition {
+	out, _ := sp.extendStop(r, a, nil)
+	return out
+}
+
+// extendStop is Extend with cooperative abort: the stop flag is polled once
+// per class (each class is one O(class) counting pass, so the latency bound
+// is a single pass even on skewed partitions). ok is false when aborted; the
+// partial partition must then be discarded, never cached.
+// lint:hot
+func (sp *SortedPartition) extendStop(r *relation.Relation, a attr.ID, stop *atomic.Bool) (*SortedPartition, bool) {
 	codes := r.Col(a)
 	out := &SortedPartition{
 		Idx:  make([]int32, len(sp.Idx)),
 		Ends: make([]int32, 0, len(sp.Ends)),
 	}
 	var counts []int32
+	var tick uint32
 	start := int32(0)
 	for _, end := range sp.Ends {
+		tick++
+		if tick&stopCheckMask == 0 && stop != nil && stop.Load() {
+			return nil, false // aborted mid-derivation
+		}
 		cls := sp.Idx[start:end]
 		dst := out.Idx[start:end]
 		if len(cls) <= 24 {
@@ -116,7 +131,10 @@ func (sp *SortedPartition) Extend(r *relation.Relation, a attr.ID) *SortedPartit
 		}
 		start = end
 	}
-	return out
+	if stop != nil && stop.Load() {
+		return nil, false // aborted: discard the finished derivation too
+	}
+	return out, true
 }
 
 // PartitionChecker validates OD and OCD candidates with incrementally
@@ -134,6 +152,12 @@ type PartitionChecker struct {
 
 	base   *SortedPartition
 	checks atomic.Int64
+
+	// stop, when non-nil and true, aborts checks cooperatively: partition
+	// derivations bail mid-pass, aborted checks report invalid, and partial
+	// partitions are never cached. Armed by the discovery engine's context
+	// watcher.
+	stop *atomic.Bool
 }
 
 // NewPartitionChecker returns a checker whose cache holds at most cacheCap
@@ -147,8 +171,28 @@ func NewPartitionChecker(r *relation.Relation, cacheCap int) *PartitionChecker {
 	}
 }
 
+// SetStopFlag arms cooperative cancellation: once *stop is true, in-flight
+// and future checks abort quickly and conservatively report the candidate
+// invalid (callers observing the flag must discard, not trust, aborted
+// answers). Not safe to call concurrently with checks.
+func (c *PartitionChecker) SetStopFlag(stop *atomic.Bool) { c.stop = stop }
+
+// stopped reports whether a cooperative stop has been requested.
+func (c *PartitionChecker) stopped() bool { return c.stop != nil && c.stop.Load() }
+
+// ReleaseMemory drops every cached partition except the base, the
+// degradation step of the engine's soft memory budget. The checker stays
+// fully usable; later derivations restart from the base partition.
+func (c *PartitionChecker) ReleaseMemory() {
+	c.mu.Lock()
+	c.cache = make(map[string]*SortedPartition)
+	c.fifo = nil
+	c.mu.Unlock()
+}
+
 // Partition returns the sorted partition of the list, deriving it from the
-// longest cached prefix.
+// longest cached prefix. A nil return means the derivation was aborted by
+// the stop flag; partial partitions are discarded, never cached.
 func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
 	if len(x) == 0 {
 		return c.base
@@ -175,7 +219,11 @@ func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
 		sp = c.base
 	}
 	for ; depth < len(x); depth++ {
-		sp = sp.Extend(c.r, x[depth])
+		next, ok := sp.extendStop(c.r, x[depth], c.stop)
+		if !ok {
+			return nil // aborted: cached prefixes stay valid, nothing partial enters
+		}
+		sp = next
 		c.put(x[:depth+1].Key(), sp)
 	}
 	return sp
@@ -185,6 +233,7 @@ func (c *PartitionChecker) put(key string, sp *SortedPartition) {
 	if c.cap <= 0 {
 		return
 	}
+	faultinject.Point("order.partition.cacheput")
 	c.mu.Lock()
 	if _, ok := c.cache[key]; !ok {
 		if len(c.fifo) >= c.cap {
@@ -203,10 +252,19 @@ func (c *PartitionChecker) put(key string, sp *SortedPartition) {
 // lint:hot
 func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
 	c.checks.Add(1)
+	faultinject.Point("order.partition.check")
 	sp := c.Partition(x)
+	if sp == nil {
+		return false // aborted derivation: conservatively invalid
+	}
 	r := c.r
 	start := int32(0)
+	var tick uint32
 	for _, end := range sp.Ends {
+		tick++
+		if tick&stopCheckMask == 0 && c.stopped() {
+			return false // aborted scan: conservatively invalid
+		}
 		cls := sp.Idx[start:end]
 		for i := 1; i < len(cls); i++ {
 			if CompareRows(r, int(cls[0]), int(cls[i]), y) != 0 {
@@ -236,12 +294,21 @@ func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
 // lint:hot
 func (c *PartitionChecker) CheckOCD(x, y attr.List) bool {
 	c.checks.Add(1)
+	faultinject.Point("order.partition.check")
 	sp := c.Partition(x.Concat(y))
+	if sp == nil {
+		return false // aborted derivation: conservatively invalid
+	}
 	r := c.r
 	yx := y.Concat(x)
 	prev := int32(-1)
 	start := int32(0)
+	var tick uint32
 	for _, end := range sp.Ends {
+		tick++
+		if tick&stopCheckMask == 0 && c.stopped() {
+			return false // aborted scan: conservatively invalid
+		}
 		rep := sp.Idx[start]
 		if prev >= 0 && CompareRows(r, int(prev), int(rep), yx) > 0 {
 			return false
@@ -269,12 +336,23 @@ func (c *PartitionChecker) Relation() *relation.Relation { return c.r }
 // on Y is a split; a decrease of Y across the class sequence is a swap.
 func (c *PartitionChecker) CheckODFull(x, y attr.List) ODResult {
 	c.checks.Add(1)
+	faultinject.Point("order.partition.check")
 	sp := c.Partition(x)
+	if sp == nil {
+		// Aborted derivation: conservatively report both violation kinds so
+		// no pruning rule treats the candidate as verified.
+		return ODResult{HasSplit: true, HasSwap: true}
+	}
 	r := c.r
 	res := ODResult{Valid: true}
 	start := int32(0)
 	var prevRep int32 = -1
+	var tick uint32
 	for _, end := range sp.Ends {
+		tick++
+		if tick&stopCheckMask == 0 && c.stopped() {
+			return ODResult{HasSplit: true, HasSwap: true} // aborted scan
+		}
 		cls := sp.Idx[start:end]
 		if !res.HasSplit {
 			for i := 1; i < len(cls); i++ {

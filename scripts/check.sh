@@ -13,7 +13,13 @@
 #   4. go test -race ./...       unit + integration tests under the
 #                                race detector (the parallel traversal
 #                                must stay race-clean)
-#   5. fuzz smokes               FuzzCSVParse and FuzzRankEncode for
+#   5. chaos tests               go test -tags=faultinject ./... drives
+#                                the engine's failure paths (worker
+#                                panics, injected cancels, delays)
+#                                through the fault-injection points, plus
+#                                a -race pass of the cancellation and
+#                                chaos tests (docs/ROBUSTNESS.md)
+#   6. fuzz smokes               FuzzCSVParse and FuzzRankEncode for
 #                                FUZZTIME each (default 10s)
 #
 # Usage:
@@ -42,6 +48,12 @@ go run ./cmd/ocdlint -json ./... >/dev/null
 
 step "go test -race ./..."
 go test -race ./...
+
+step "chaos: go test -tags=faultinject ./..."
+go test -tags=faultinject ./...
+
+step "chaos: go test -tags=faultinject -race (core, faultinject)"
+go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
 if [ "$FUZZTIME" != "0" ]; then
     for target in FuzzCSVParse FuzzRankEncode; do

@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json chaos fuzz check
+.PHONY: build test race lint lint-json chaos resume-chaos fuzz check
 
 build:
 	go build ./...
@@ -29,9 +29,16 @@ chaos:
 	go test -tags=faultinject ./...
 	go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
+# resume-chaos kills a fault-injection build of ocddiscover mid-level and
+# mid-snapshot-rename, resumes from the surviving checkpoint, and diffs
+# the output against an uninterrupted run (docs/ROBUSTNESS.md).
+resume-chaos:
+	scripts/resume_chaos.sh
+
 fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
 	go test -run='^$$' -fuzz='^FuzzRankEncode$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
+	go test -run='^$$' -fuzz='^FuzzCheckpointDecode$$' -fuzztime=$${FUZZTIME:-10s} ./internal/checkpoint/
 
 check:
 	scripts/check.sh

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ocd/internal/experiments"
+	"ocd/internal/faultinject"
 )
 
 func main() {
@@ -39,8 +40,13 @@ func main() {
 		threads = flag.Int("max-threads", 8, "maximum worker count for fig6")
 		plot    = flag.Bool("plot", false, "render figure series as ASCII log-scale charts")
 		csvDir  = flag.String("csv-dir", "", "also write each figure's series as CSV into this directory")
+		ckptDir = flag.String("checkpoint-dir", "", "write per-run resumable snapshots into this directory")
 	)
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -54,6 +60,13 @@ func main() {
 	s.Reps = *reps
 	s.ColSamples = *samples
 	s.MaxThreads = *threads
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		s.CheckpointDir = *ckptDir
+	}
 
 	writeCSV := func(file, content string) {
 		if *csvDir == "" {

@@ -7,9 +7,13 @@
 //	ocddiscover -input data.csv [-workers 8] [-timeout 5h] [-sep ';']
 //	            [-no-header] [-force-string] [-max-level 0]
 //	            [-top-entropy 0] [-expand 20] [-partial-ok]
+//	            [-checkpoint run.ckpt] [-resume run.ckpt]
 //
 // Interrupting a run (Ctrl-C / SIGINT / SIGTERM) still prints the partial
-// summary of everything found so far.
+// summary of everything found so far. With -checkpoint the run is also
+// durable: a snapshot is written at every completed level, and after a
+// truncation, interrupt or crash the printed resume command (also in the
+// JSON output as resume_command) restarts it from the last completed level.
 //
 // Exit codes: 0 complete (or partial with -partial-ok), 1 error,
 // 2 usage, 3 partial results (truncated or interrupted).
@@ -19,6 +23,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"ocd"
+	"ocd/internal/faultinject"
 )
 
 // exitPartial is the exit code for a truncated or interrupted run whose
@@ -49,12 +55,26 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
 		depsOut     = flag.String("deps-out", "", "write discovered dependencies in odverify's format to this file")
 		partialOK   = flag.Bool("partial-ok", false, "exit 0 instead of 3 when results are partial (truncated or interrupted)")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable snapshot to this file at every completed level")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "snapshot only every n completed levels (0 = every level)")
+		resumeFrom  = flag.String("resume", "", "restart from the snapshot at this path (input must be the original data)")
 	)
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "ocddiscover: -input is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Let crash-driver scripts kill this process at an exact engine point
+	// (faultinject builds only; a set OCD_FAULT on a plain build is an error).
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+		os.Exit(2)
+	}
+	// A resumed run keeps checkpointing to the snapshot it came from unless
+	// told otherwise, so a second interruption is also resumable.
+	if *resumeFrom != "" && *ckptPath == "" {
+		*ckptPath = *resumeFrom
 	}
 
 	opts := []ocd.LoadOption{}
@@ -77,10 +97,13 @@ func main() {
 	}
 
 	dopts := ocd.Options{
-		Workers:       *workers,
-		Timeout:       *timeout,
-		MaxLevel:      *maxLevel,
-		MaxCandidates: *maxCand,
+		Workers:         *workers,
+		Timeout:         *timeout,
+		MaxLevel:        *maxLevel,
+		MaxCandidates:   *maxCand,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		ResumeFrom:      *resumeFrom,
 	}
 	if *topEntropy > 0 {
 		dopts.Columns = tbl.TopEntropyColumns(*topEntropy)
@@ -95,6 +118,12 @@ func main() {
 	start := time.Now()
 	res, err := tbl.DiscoverContext(ctx, dopts)
 	if res == nil {
+		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+		os.Exit(1)
+	}
+	if err != nil && errors.Is(err, ocd.ErrCheckpointMismatch) {
+		// The snapshot belongs to different data or options: refuse the
+		// resume outright rather than rediscovering from scratch.
 		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
 		os.Exit(1)
 	}
@@ -127,6 +156,11 @@ func main() {
 			ElapsedMS        int64      `json:"elapsed_ms"`
 			Truncated        bool       `json:"truncated"`
 			TruncateReason   string     `json:"truncate_reason,omitempty"`
+			Resumed          bool       `json:"resumed,omitempty"`
+			Checkpoints      int        `json:"checkpoints,omitempty"`
+			CheckpointPath   string     `json:"checkpoint_path,omitempty"`
+			CheckpointError  string     `json:"checkpoint_error,omitempty"`
+			ResumeCommand    string     `json:"resume_command,omitempty"`
 		}
 		out := jsonOut{
 			Table: tbl.Name(), Rows: tbl.NumRows(), Cols: tbl.NumCols(),
@@ -135,7 +169,14 @@ func main() {
 			ExpandedODCount: res.CountODs(),
 			Checks:          res.Stats.Checks, Candidates: res.Stats.Candidates,
 			ElapsedMS: res.Stats.Elapsed.Milliseconds(), Truncated: res.Stats.Truncated,
-			TruncateReason: string(res.Stats.TruncateReason),
+			TruncateReason:  string(res.Stats.TruncateReason),
+			Resumed:         res.Stats.Resumed,
+			Checkpoints:     res.Stats.Checkpoints,
+			CheckpointError: res.Stats.CheckpointError,
+		}
+		if path, ok := resumableSnapshot(*ckptPath, res); ok {
+			out.CheckpointPath = path
+			out.ResumeCommand = resumeCommand(path)
 		}
 		if *expand > 0 {
 			out.ExpandedODs = res.ExpandODs(*expand)
@@ -178,7 +219,40 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%s\n", res.Summary())
+	if res.Stats.CheckpointError != "" {
+		fmt.Fprintf(os.Stderr, "ocddiscover: checkpointing disabled after write failure: %s\n", res.Stats.CheckpointError)
+	}
+	if path, ok := resumableSnapshot(*ckptPath, res); ok {
+		fmt.Printf("\ncheckpoint: %s\nresume with: %s\n", path, resumeCommand(path))
+	}
 	exit(res, *partialOK)
+}
+
+// resumableSnapshot reports whether the truncated run left a snapshot worth
+// resuming from: checkpointing was on and the file exists (written by this
+// run, or by the run this one resumed — both restart correctly from it).
+func resumableSnapshot(path string, res *ocd.Result) (string, bool) {
+	if path == "" || !res.Stats.Truncated {
+		return "", false
+	}
+	if _, err := os.Stat(path); err != nil {
+		return "", false
+	}
+	return path, true
+}
+
+// resumeCommand reconstructs the exact invocation that continues this run:
+// every flag the user set, minus the checkpointing ones, plus -resume.
+func resumeCommand(ckpt string) string {
+	parts := []string{os.Args[0]}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint" || f.Name == "resume" {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("-%s=%s", f.Name, f.Value.String()))
+	})
+	parts = append(parts, "-resume="+ckpt)
+	return strings.Join(parts, " ")
 }
 
 // exit maps the run's outcome to the process exit code: 0 for a complete

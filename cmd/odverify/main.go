@@ -30,6 +30,7 @@ import (
 
 	"ocd/internal/approx"
 	"ocd/internal/depfile"
+	"ocd/internal/faultinject"
 	"ocd/internal/order"
 	"ocd/internal/relation"
 )
@@ -42,6 +43,10 @@ func main() {
 		sep   = flag.String("sep", ",", "CSV field separator")
 	)
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "odverify:", err)
+		os.Exit(2)
+	}
 	if *input == "" || *deps == "" {
 		fmt.Fprintln(os.Stderr, "odverify: -input and -deps are required")
 		flag.Usage()

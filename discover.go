@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ocd/internal/attr"
+	"ocd/internal/checkpoint"
 	"ocd/internal/core"
 )
 
@@ -42,6 +43,23 @@ type Options struct {
 	// truncates the run (reason "memory-budget") only if that is not
 	// enough. Zero means no budget.
 	MaxMemoryBytes int64
+	// CheckpointPath, when non-empty, makes the run durable: a snapshot of
+	// the traversal is atomically written there at level barriers and when
+	// the run stops for any reason, so an interrupted run can be restarted
+	// with ResumeFrom instead of from scratch. Snapshot-write failures never
+	// abort discovery; the first one is recorded in Stats.CheckpointError.
+	CheckpointPath string
+	// CheckpointEvery throttles the periodic barrier snapshots to every N
+	// completed levels (the final stop/completion snapshot is always
+	// written); values < 1 mean every level.
+	CheckpointEvery int
+	// ResumeFrom restarts discovery from the snapshot at this path. The
+	// snapshot must belong to the same data: its fingerprint (row/column
+	// counts plus per-column rank digests) is verified against the table and
+	// a mismatch fails fast with an error matching
+	// errors.Is(err, ErrCheckpointMismatch). The snapshot's column universe
+	// and reduction setting override Columns/DisableColumnReduction.
+	ResumeFrom string
 }
 
 // TruncateReason explains why a run returned partial results; the zero value
@@ -73,6 +91,17 @@ const (
 // errors.Is(err, ErrWorkerPanic) to distinguish a crash-degraded run from a
 // cancelled one.
 var ErrWorkerPanic = errors.New("ocd: panic recovered during discovery")
+
+// ErrCheckpointMismatch is the sentinel wrapped into errors returned when
+// Options.ResumeFrom names a snapshot that does not belong to the table (or
+// the run's options): modified data, a different column selection, or a
+// flipped reduction setting. Use errors.Is to detect it.
+var ErrCheckpointMismatch = checkpoint.ErrMismatch
+
+// ErrCheckpointCorrupt is the sentinel wrapped into snapshot-load errors for
+// torn, truncated or otherwise invalid snapshot files; such files are never
+// partially accepted.
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
 
 func reasonOf(r core.TruncateReason) TruncateReason {
 	switch r {
@@ -131,6 +160,18 @@ type Stats struct {
 	// MemoryReleases counts how often the soft memory budget forced the
 	// checker caches to be dropped without truncating the run.
 	MemoryReleases int
+	// Checkpoints counts the snapshots written during the run (periodic
+	// level barriers plus the final stop/completion snapshot).
+	Checkpoints int
+	// CheckpointError records the first snapshot-write failure; further
+	// checkpointing was disabled from that point. Empty when every write
+	// succeeded or checkpointing was off.
+	CheckpointError string
+	// Resumed marks a run restarted via Options.ResumeFrom; Checks,
+	// Candidates, Levels and MemoryReleases then include the original run's
+	// counters up to the snapshot, so crash + resume totals equal an
+	// uninterrupted run. Elapsed covers only the resumed run.
+	Resumed bool
 }
 
 // Result holds the dependencies found by Discover.
@@ -186,6 +227,14 @@ func (t *Table) DiscoverContext(ctx context.Context, opts Options) (*Result, err
 			cols[i] = id
 		}
 	}
+	var snap *checkpoint.Snapshot
+	if opts.ResumeFrom != "" {
+		var err error
+		snap, err = checkpoint.Load(opts.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("ocd: loading checkpoint %s: %w", opts.ResumeFrom, err)
+		}
+	}
 	inner, err := core.DiscoverContext(ctx, t.rel, core.Options{
 		Workers:                opts.Workers,
 		Timeout:                opts.Timeout,
@@ -195,6 +244,9 @@ func (t *Table) DiscoverContext(ctx context.Context, opts Options) (*Result, err
 		DisableColumnReduction: opts.DisableColumnReduction,
 		UseSortedPartitions:    opts.UseSortedPartitions,
 		MaxMemoryBytes:         opts.MaxMemoryBytes,
+		CheckpointPath:         opts.CheckpointPath,
+		CheckpointEvery:        opts.CheckpointEvery,
+		Resume:                 snap,
 	})
 	var pe *core.PanicError
 	if errors.As(err, &pe) {
@@ -219,13 +271,16 @@ func (t *Table) wrapResult(inner *core.Result) *Result {
 		res.EquivalentGroups = append(res.EquivalentGroups, nameList(attrListOf(class), names))
 	}
 	res.Stats = Stats{
-		Checks:         inner.Stats.Checks,
-		Candidates:     inner.Stats.Candidates,
-		Levels:         inner.Stats.Levels,
-		Elapsed:        inner.Stats.Elapsed,
-		Truncated:      inner.Stats.Truncated,
-		TruncateReason: reasonOf(inner.Stats.Reason),
-		MemoryReleases: inner.Stats.MemoryReleases,
+		Checks:          inner.Stats.Checks,
+		Candidates:      inner.Stats.Candidates,
+		Levels:          inner.Stats.Levels,
+		Elapsed:         inner.Stats.Elapsed,
+		Truncated:       inner.Stats.Truncated,
+		TruncateReason:  reasonOf(inner.Stats.Reason),
+		MemoryReleases:  inner.Stats.MemoryReleases,
+		Checkpoints:     inner.Stats.Checkpoints,
+		CheckpointError: inner.Stats.CheckpointError,
+		Resumed:         inner.Stats.Resumed,
 	}
 	return res
 }

@@ -1,0 +1,315 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ocd/internal/relation"
+)
+
+// randomSnapshot builds a structurally valid snapshot from a seeded PRNG:
+// random dimensions, random reduction output, random dependency sets and a
+// random frontier at a consistent level. It is the generator for the
+// round-trip property tests.
+func randomSnapshot(rng *rand.Rand) *Snapshot {
+	cols := 2 + rng.Intn(12)
+	s := &Snapshot{
+		Fingerprint: Fingerprint{
+			Path: fmt.Sprintf("data-%d.csv", rng.Intn(1000)),
+			Rows: rng.Intn(10000),
+			Cols: cols,
+		},
+		DisableColumnReduction: rng.Intn(4) == 0,
+		NextLevel:              2 + rng.Intn(4),
+	}
+	s.Fingerprint.ColDigests = make([]string, cols)
+	for c := range s.Fingerprint.ColDigests {
+		s.Fingerprint.ColDigests[c] = fmt.Sprintf("%016x", rng.Uint64())
+	}
+	for c := 0; c < cols; c++ {
+		s.Universe = append(s.Universe, c)
+	}
+	// Partition a few columns off as constants; the rest stay reduced.
+	for _, c := range s.Universe {
+		if rng.Intn(8) == 0 {
+			s.Constants = append(s.Constants, c)
+		} else {
+			s.Reduced = append(s.Reduced, c)
+		}
+	}
+	if len(s.Reduced) >= 2 && rng.Intn(2) == 0 {
+		s.EquivClasses = append(s.EquivClasses, []int{s.Reduced[0], s.Reduced[1]})
+	}
+	// randomPair picks disjoint, duplicate-free sides over the reduced set.
+	randomPair := func(level int) (PairRec, bool) {
+		if len(s.Reduced) < level {
+			return PairRec{}, false
+		}
+		perm := rng.Perm(len(s.Reduced))
+		nx := 1 + rng.Intn(level-1)
+		var p PairRec
+		for i := 0; i < level; i++ {
+			id := s.Reduced[perm[i]]
+			if i < nx {
+				p.X = append(p.X, id)
+			} else {
+				p.Y = append(p.Y, id)
+			}
+		}
+		return p, true
+	}
+	for i := rng.Intn(20); i > 0; i-- {
+		if p, ok := randomPair(2 + rng.Intn(3)); ok {
+			s.OCDs = append(s.OCDs, p)
+		}
+	}
+	for i := rng.Intn(10); i > 0; i-- {
+		if p, ok := randomPair(2 + rng.Intn(3)); ok {
+			s.ODs = append(s.ODs, p)
+		}
+	}
+	for i := rng.Intn(30); i > 0; i-- {
+		if p, ok := randomPair(s.NextLevel); ok {
+			s.Frontier = append(s.Frontier, p)
+		}
+	}
+	s.Stats = Stats{
+		Checks:         rng.Int63n(1 << 40),
+		Candidates:     rng.Int63n(1 << 30),
+		Levels:         rng.Intn(20),
+		MemoryReleases: rng.Intn(3),
+	}
+	return s
+}
+
+// TestRoundTripProperty: Encode then Decode is the identity on randomized
+// valid snapshots, across many seeds.
+func TestRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		want := randomSnapshot(rng)
+		var buf bytes.Buffer
+		if err := want.Encode(&buf); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: round trip changed the snapshot:\nwant %+v\ngot  %+v", seed, want, got)
+		}
+	}
+}
+
+// TestTornSnapshotsNeverLoad: every strict prefix of a valid snapshot file
+// (the state a torn write leaves behind) must fail to decode.
+func TestTornSnapshotsNeverLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := randomSnapshot(rng)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(full))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestBitFlipsNeverLoad: single-byte corruption anywhere in the file is
+// rejected (header damage or checksum mismatch, both wrap ErrCorrupt —
+// except a flip inside the version digits, which may wrap ErrVersion).
+func TestBitFlipsNeverLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomSnapshot(rng)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i += 1 + i/16 { // sample positions, denser early
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x20
+		got, err := Decode(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully: %+v", i, got)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at byte %d: error %v wraps neither ErrCorrupt nor ErrVersion", i, err)
+		}
+	}
+}
+
+// TestTrailingGarbageRejected: a duplicated payload (torn double write,
+// appended junk) must not load even though the first copy checksums.
+func TestTrailingGarbageRejected(t *testing.T) {
+	s := randomSnapshot(rand.New(rand.NewSource(3)))
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("junk")
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVersionRefused: a snapshot from a future format version is refused
+// with ErrVersion, not misparsed.
+func TestVersionRefused(t *testing.T) {
+	s := randomSnapshot(rand.New(rand.NewSource(9)))
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(buf.String(), "OCDCKPT 1 ", "OCDCKPT 2 ", 1)
+	if _, err := Decode(strings.NewReader(bumped)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+// TestValidationRejectsHostileState: payloads that checksum correctly but
+// describe dangerous states (out-of-range attribute ids, overlapping pair
+// sides, wrong frontier level) are refused by the structural validator.
+func TestValidationRejectsHostileState(t *testing.T) {
+	base := func() *Snapshot {
+		s := randomSnapshot(rand.New(rand.NewSource(11)))
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"id out of range", func(s *Snapshot) { s.Universe = append(s.Universe, s.Fingerprint.Cols) }},
+		{"negative id", func(s *Snapshot) { s.Reduced = append(s.Reduced, -1) }},
+		{"digest count mismatch", func(s *Snapshot) { s.Fingerprint.ColDigests = s.Fingerprint.ColDigests[:1] }},
+		{"non-hex digest", func(s *Snapshot) { s.Fingerprint.ColDigests[0] = "zzzzzzzzzzzzzzzz" }},
+		{"empty pair side", func(s *Snapshot) { s.OCDs = append(s.OCDs, PairRec{X: nil, Y: []int{0}}) }},
+		{"overlapping sides", func(s *Snapshot) { s.OCDs = append(s.OCDs, PairRec{X: []int{0}, Y: []int{0}}) }},
+		{"repeated attribute", func(s *Snapshot) { s.ODs = append(s.ODs, PairRec{X: []int{0, 0}, Y: []int{1}}) }},
+		{"frontier level mismatch", func(s *Snapshot) {
+			s.NextLevel = 4
+			s.Frontier = []PairRec{{X: []int{0}, Y: []int{1}}}
+		}},
+		{"tiny equivalence class", func(s *Snapshot) { s.EquivClasses = append(s.EquivClasses, []int{0}) }},
+		{"negative stats", func(s *Snapshot) { s.Stats.Checks = -1 }},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+// TestFingerprintVerify: same data matches regardless of spelling; any
+// value, order, row-count or column-count change is a mismatch.
+func TestFingerprintVerify(t *testing.T) {
+	mk := func(rows [][]string) *relation.Relation {
+		r, err := relation.FromStrings("t", []string{"a", "b"}, rows, relation.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	orig := mk([][]string{{"1", "x"}, {"2", "y"}, {"3", "x"}})
+	f := FingerprintOf(orig, "orig.csv")
+	if err := f.Verify(orig); err != nil {
+		t.Fatalf("self-verify failed: %v", err)
+	}
+	// Same values, different spelling: rank codes are canonical.
+	respelled := mk([][]string{{"01", "x"}, {"2", "y"}, {"3", "x"}})
+	if err := f.Verify(respelled); err != nil {
+		t.Fatalf("respelled numerics should still match: %v", err)
+	}
+	// An order-preserving value edit (1,2,3 -> 1,2,7) keeps the rank codes
+	// and therefore matches: the discovered dependencies are identical, so
+	// the resume is sound by construction.
+	isomorphic := mk([][]string{{"1", "x"}, {"2", "y"}, {"7", "x"}})
+	if err := f.Verify(isomorphic); err != nil {
+		t.Fatalf("order-isomorphic edit should still match: %v", err)
+	}
+	for name, other := range map[string]*relation.Relation{
+		"tie introduced": mk([][]string{{"1", "x"}, {"2", "y"}, {"2", "x"}}),
+		"row swap":       mk([][]string{{"2", "y"}, {"1", "x"}, {"3", "x"}}),
+		"row dropped":    mk([][]string{{"1", "x"}, {"2", "y"}}),
+	} {
+		if err := f.Verify(other); !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s: err = %v, want ErrMismatch", name, err)
+		}
+	}
+}
+
+// TestWriteLoadAtomic: Write leaves a loadable file, replaces previous
+// snapshots in place, and never leaves the destination torn even when the
+// temp file from an earlier attempt is still lying around.
+func TestWriteLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	rng := rand.New(rand.NewSource(1))
+	first := randomSnapshot(rng)
+	if err := Write(path, first); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, got) {
+		t.Fatal("loaded snapshot differs from written one")
+	}
+	// A stale temp file (crash between write and rename) must not break
+	// the next Write, and Load never sees it.
+	if err := os.WriteFile(path+".tmp", []byte("torn half-written snapsho"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second := randomSnapshot(rng)
+	if err := Write(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, got) {
+		t.Fatal("second Write did not replace the snapshot")
+	}
+}
+
+// TestLoadMissing: a missing snapshot file surfaces as os.IsNotExist, so
+// CLIs can distinguish "no checkpoint yet" from corruption.
+func TestLoadMissing(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+// TestCompleteFlag: only an empty frontier marks a snapshot complete.
+func TestCompleteFlag(t *testing.T) {
+	s := &Snapshot{}
+	if !s.Complete() {
+		t.Error("empty frontier should be complete")
+	}
+	s.Frontier = []PairRec{{X: []int{0}, Y: []int{1}}}
+	if s.Complete() {
+		t.Error("non-empty frontier should not be complete")
+	}
+}

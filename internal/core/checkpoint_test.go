@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/checkpoint"
+	"ocd/internal/relation"
+)
+
+// loadSnapshot reads the snapshot a truncated run left behind.
+func loadSnapshot(t *testing.T, path string) *checkpoint.Snapshot {
+	t.Helper()
+	s, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", path, err)
+	}
+	return s
+}
+
+// assertSameDiscovery asserts the resumed run reproduced the fresh run
+// exactly: every dependency list and every deterministic counter.
+func assertSameDiscovery(t *testing.T, fresh, resumed *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(fresh.OCDs, resumed.OCDs) {
+		t.Errorf("OCDs differ:\nfresh:   %v\nresumed: %v", fresh.OCDs, resumed.OCDs)
+	}
+	if !reflect.DeepEqual(fresh.ODs, resumed.ODs) {
+		t.Errorf("ODs differ:\nfresh:   %v\nresumed: %v", fresh.ODs, resumed.ODs)
+	}
+	if !reflect.DeepEqual(fresh.Constants, resumed.Constants) {
+		t.Errorf("Constants differ: fresh %v, resumed %v", fresh.Constants, resumed.Constants)
+	}
+	if !reflect.DeepEqual(fresh.EquivClasses, resumed.EquivClasses) {
+		t.Errorf("EquivClasses differ: fresh %v, resumed %v", fresh.EquivClasses, resumed.EquivClasses)
+	}
+	if fresh.Stats.Checks != resumed.Stats.Checks {
+		t.Errorf("Checks: fresh %d, resumed total %d", fresh.Stats.Checks, resumed.Stats.Checks)
+	}
+	if fresh.Stats.Candidates != resumed.Stats.Candidates {
+		t.Errorf("Candidates: fresh %d, resumed total %d", fresh.Stats.Candidates, resumed.Stats.Candidates)
+	}
+	if fresh.Stats.Levels != resumed.Stats.Levels {
+		t.Errorf("Levels: fresh %d, resumed total %d", fresh.Stats.Levels, resumed.Stats.Levels)
+	}
+	if !resumed.Stats.Resumed {
+		t.Error("resumed run did not set Stats.Resumed")
+	}
+}
+
+// TestResumeAfterLevelCapMatchesFresh is the differential core of the
+// checkpoint contract: truncate a run at a level barrier, resume from its
+// snapshot, and the combined output — dependencies and counters — must be
+// indistinguishable from a run that was never interrupted.
+func TestResumeAfterLevelCapMatchesFresh(t *testing.T) {
+	r := correlatedRelation(t, 60)
+	fresh := Discover(r, Options{Workers: 2})
+	if fresh.Stats.Levels < 3 {
+		t.Fatalf("dataset too shallow for a meaningful resume: %d levels", fresh.Stats.Levels)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	part := Discover(r, Options{Workers: 2, MaxLevel: 2, CheckpointPath: ckpt})
+	if !part.Stats.Truncated || part.Stats.Reason != TruncateMaxLevel {
+		t.Fatalf("expected level-cap truncation, got %+v", part.Stats)
+	}
+	if part.Stats.Checkpoints == 0 {
+		t.Fatal("truncated run wrote no snapshot")
+	}
+
+	snap := loadSnapshot(t, ckpt)
+	if snap.Complete() {
+		t.Fatal("truncated run's snapshot claims completion")
+	}
+	resumed, err := DiscoverContext(context.Background(), r, Options{Workers: 2, Resume: snap})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Stats.Truncated {
+		t.Fatalf("resumed run truncated: %+v", resumed.Stats)
+	}
+	assertSameDiscovery(t, fresh, resumed)
+	assertWellFormed(t, r, resumed)
+}
+
+// TestResumeAfterCandidateCapMatchesFresh exercises the mid-level stop: the
+// candidate budget trips workers inside a level, so the barrier stays at the
+// previous level and resume re-runs the interrupted level from scratch.
+func TestResumeAfterCandidateCapMatchesFresh(t *testing.T) {
+	r := correlatedRelation(t, 60)
+	fresh := Discover(r, Options{})
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	part := Discover(r, Options{MaxCandidates: fresh.Stats.Candidates / 2, CheckpointPath: ckpt})
+	if !part.Stats.Truncated || part.Stats.Reason != TruncateMaxCandidates {
+		t.Fatalf("expected candidate-cap truncation, got %+v", part.Stats)
+	}
+
+	resumed, err := DiscoverContext(context.Background(), r, Options{Resume: loadSnapshot(t, ckpt)})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	assertSameDiscovery(t, fresh, resumed)
+}
+
+// TestResumeOfCompleteRun: a full run's final snapshot has an empty frontier;
+// resuming it re-emits the complete result without performing any checks.
+func TestResumeOfCompleteRun(t *testing.T) {
+	r := correlatedRelation(t, 40)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	fresh := Discover(r, Options{CheckpointPath: ckpt})
+	if fresh.Stats.Truncated {
+		t.Fatalf("fresh run truncated: %+v", fresh.Stats)
+	}
+	wantPeriodic := fresh.Stats.Levels // one per completed level with a successor, plus the final one
+	if fresh.Stats.Checkpoints < 2 || fresh.Stats.Checkpoints > wantPeriodic+1 {
+		t.Errorf("Checkpoints = %d, want within [2, %d]", fresh.Stats.Checkpoints, wantPeriodic+1)
+	}
+
+	snap := loadSnapshot(t, ckpt)
+	if !snap.Complete() {
+		t.Fatalf("final snapshot of a complete run has frontier %d", len(snap.Frontier))
+	}
+	resumed, err := DiscoverContext(context.Background(), r, Options{Resume: snap})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	assertSameDiscovery(t, fresh, resumed)
+	if got := resumed.Stats.Checks - snap.Stats.Checks; got != 0 {
+		t.Errorf("resuming a complete run performed %d checks, want 0", got)
+	}
+}
+
+// TestCheckpointEveryThrottlesPeriodicWrites: CheckpointEvery=N skips the
+// periodic barrier snapshots in between but never the final one.
+func TestCheckpointEveryThrottlesPeriodicWrites(t *testing.T) {
+	r := correlatedRelation(t, 60)
+	dir := t.TempDir()
+
+	everyLevel := Discover(r, Options{CheckpointPath: filepath.Join(dir, "a.ckpt")})
+	throttled := Discover(r, Options{CheckpointPath: filepath.Join(dir, "b.ckpt"), CheckpointEvery: 100})
+	if throttled.Stats.Checkpoints != 1 {
+		t.Errorf("CheckpointEvery=100 wrote %d snapshots, want only the final one", throttled.Stats.Checkpoints)
+	}
+	if everyLevel.Stats.Checkpoints <= throttled.Stats.Checkpoints {
+		t.Errorf("every-level run wrote %d snapshots, throttled wrote %d — throttle had no effect",
+			everyLevel.Stats.Checkpoints, throttled.Stats.Checkpoints)
+	}
+}
+
+// TestResumeRefusesModifiedData: resuming against a relation whose rank
+// structure changed fails fast with a fingerprint mismatch.
+func TestResumeRefusesModifiedData(t *testing.T) {
+	r := correlatedRelation(t, 40)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	Discover(r, Options{MaxLevel: 2, CheckpointPath: ckpt})
+	snap := loadSnapshot(t, ckpt)
+
+	divs := []int{2, 3, 5, 7, 11, 13}
+	data := make([][]int, 40)
+	for i := range data {
+		row := make([]int, len(divs))
+		for j, d := range divs {
+			row[j] = i / d
+		}
+		data[i] = row
+	}
+	data[7][1] = 99 // breaks column 1's rank order
+	modified, err := relation.FromIntsErr("correlated", nil, data)
+	if err != nil {
+		t.Fatalf("FromIntsErr: %v", err)
+	}
+
+	res, rerr := DiscoverContext(context.Background(), modified, Options{Resume: snap})
+	if !errors.Is(rerr, checkpoint.ErrMismatch) {
+		t.Fatalf("resume against modified data: err = %v, want ErrMismatch", rerr)
+	}
+	if len(res.OCDs) != 0 || res.Stats.Checks != 0 {
+		t.Errorf("mismatched resume did work before failing: %+v", res.Stats)
+	}
+}
+
+// TestResumeRefusesOptionMismatch: the snapshot pins the column universe and
+// the reduction setting; a resume that changes either is refused.
+func TestResumeRefusesOptionMismatch(t *testing.T) {
+	r := correlatedRelation(t, 40)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	Discover(r, Options{MaxLevel: 2, CheckpointPath: ckpt})
+	snap := loadSnapshot(t, ckpt)
+
+	if _, err := DiscoverContext(context.Background(), r, Options{
+		Resume: snap, DisableColumnReduction: true,
+	}); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Errorf("reduction toggle: err = %v, want ErrMismatch", err)
+	}
+	if _, err := DiscoverContext(context.Background(), r, Options{
+		Resume: snap, Columns: []attr.ID{0, 1, 2},
+	}); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Errorf("column subset: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestCheckpointWriteFailureIsNonFatal: an unwritable checkpoint path never
+// aborts discovery; the failure is recorded and the run completes normally.
+func TestCheckpointWriteFailureIsNonFatal(t *testing.T) {
+	r := correlatedRelation(t, 40)
+	fresh := Discover(r, Options{})
+	res := Discover(r, Options{CheckpointPath: filepath.Join(t.TempDir(), "no", "such", "dir", "x.ckpt")})
+	if res.Stats.CheckpointError == "" {
+		t.Fatal("expected Stats.CheckpointError to record the write failure")
+	}
+	if res.Stats.Checkpoints != 0 {
+		t.Errorf("Checkpoints = %d after a failed write", res.Stats.Checkpoints)
+	}
+	if res.Stats.Truncated {
+		t.Errorf("checkpoint failure truncated the run: %+v", res.Stats)
+	}
+	if !reflect.DeepEqual(fresh.OCDs, res.OCDs) {
+		t.Error("checkpoint failure changed the discovered OCDs")
+	}
+}
+
+// TestNoSnapshotBeforeFirstBarrier: a cancellation that lands before the
+// initial frontier exists (here: before the run starts) may have degraded the
+// reduction phase, so nothing may be persisted.
+func TestNoSnapshotBeforeFirstBarrier(t *testing.T) {
+	r := correlatedRelation(t, 40)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DiscoverContext(ctx, r, Options{CheckpointPath: ckpt})
+	if err == nil {
+		t.Fatal("expected a context error")
+	}
+	if res.Stats.Checkpoints != 0 {
+		t.Errorf("pre-cancelled run wrote %d snapshots", res.Stats.Checkpoints)
+	}
+	if _, statErr := os.Stat(ckpt); !os.IsNotExist(statErr) {
+		t.Errorf("pre-cancelled run left a snapshot on disk (stat err: %v)", statErr)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ocd/internal/attr"
+	"ocd/internal/checkpoint"
 	"ocd/internal/faultinject"
 	"ocd/internal/order"
 	"ocd/internal/relation"
@@ -78,10 +79,20 @@ type discoverer struct {
 	deadline time.Time // zero when no timeout
 
 	universe []attr.ID // columns under consideration (pre-reduction)
+	reduced  []attr.ID // columns surviving reduction (or restored from a snapshot)
 
 	// res accumulates the (possibly partial) output; kept on the
 	// discoverer so the boundary recover in DiscoverContext can return it.
 	res *Result
+
+	// barrier is the latest consistent cut of the traversal (see
+	// checkpoint.go); snapshots are only ever taken from it.
+	barrier barrier
+	// checksBase is the snapshot's check counter on a resumed run, added to
+	// the live checker counter so crash + resume totals equal a fresh run.
+	checksBase int64
+	// fp caches the dataset fingerprint (one digest pass per run).
+	fp *checkpoint.Fingerprint
 
 	// generated counts candidates produced so far; workers stop early when
 	// it crosses MaxCandidates, bounding memory even within one level of a
@@ -218,6 +229,15 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	res := d.res
 
+	// A resumed run must fail fast on a foreign snapshot, before any
+	// traversal side effects (watcher, reduction, checkpoint writes).
+	if d.opts.Resume != nil {
+		if err := d.verifyResume(d.opts.Resume); err != nil {
+			res.Stats.Elapsed = time.Since(start)
+			return res, err
+		}
+	}
+
 	// Arm the cancellation watcher only when there is something to watch;
 	// plain Discover calls with no timeout pay nothing.
 	var timerC <-chan time.Time
@@ -234,32 +254,54 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 		// leftover goroutines (the hygiene tests pin this).
 		defer func() { close(watcherStop); <-watcherDone }()
 	}
-
-	// ---- Column reduction (Section 4.1) ----
-	var reduced []attr.ID
-	if d.opts.DisableColumnReduction {
-		reduced = append(reduced, d.universe...)
-	} else {
-		red := columnsReductionStop(d.chk, d.universe, &d.hardStop)
-		res.Constants = red.constants
-		res.EquivClasses = red.classes
-		reduced = red.reduced
-	}
-
-	// ---- Initial candidates: all unordered pairs of single attributes ----
-	var level []attr.Pair
-	for i := 0; i < len(reduced); i++ {
-		for j := i + 1; j < len(reduced); j++ {
-			level = append(level, attr.NewPair(
-				attr.Singleton(reduced[i]), attr.Singleton(reduced[j])))
+	// A context that is already dead stops the run synchronously instead of
+	// racing the watcher goroutine: no reduction work, no snapshot.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		reason := TruncateCancelled
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			reason = TruncateTimeout
 		}
+		d.requestStop(reason, true)
 	}
-	res.Stats.Candidates = int64(len(level))
-	d.generated.Store(int64(len(level)))
+
+	var level []attr.Pair
+	levelNo := 2
+	if d.opts.Resume != nil {
+		// ---- Resume: rebuild state from the verified snapshot ----
+		level, levelNo = d.restoreFromSnapshot(d.opts.Resume, res)
+	} else {
+		// ---- Column reduction (Section 4.1) ----
+		if d.opts.DisableColumnReduction {
+			d.reduced = append(d.reduced, d.universe...)
+		} else {
+			red := columnsReductionStop(d.chk, d.universe, &d.hardStop)
+			res.Constants = red.constants
+			res.EquivClasses = red.classes
+			d.reduced = red.reduced
+		}
+
+		// ---- Initial candidates: all unordered single-attribute pairs ----
+		for i := 0; i < len(d.reduced); i++ {
+			for j := i + 1; j < len(d.reduced); j++ {
+				level = append(level, attr.NewPair(
+					attr.Singleton(d.reduced[i]), attr.Singleton(d.reduced[j])))
+			}
+		}
+		res.Stats.Candidates = int64(len(level))
+		d.generated.Store(int64(len(level)))
+	}
+	// The initial frontier is itself a consistent cut — a run killed during
+	// its first level resumes from here rather than re-running reduction.
+	// Except when a hard stop already landed: reduction checks may have been
+	// aborted mid-sort then, leaving degraded reduction output that must not
+	// become durable, so the barrier stays invalid and nothing is snapshotted.
+	if d.reason() == TruncateNone || d.opts.Resume != nil {
+		d.noteBarrier(level, levelNo, res)
+	}
 
 	// ---- Main BFS loop (Algorithm 1, lines 5–14) ----
 	var errs []error
-	levelNo := 2
+	levelsDone := 0
 	for len(level) > 0 {
 		if d.opts.MaxLevel > 0 && levelNo > d.opts.MaxLevel {
 			res.truncate(TruncateMaxLevel)
@@ -278,7 +320,7 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 			break
 		}
 		faultinject.Point("core.level.start")
-		next, lerr := d.processLevel(level, reduced, res)
+		next, complete, lerr := d.processLevel(level, d.reduced, res)
 		res.Stats.Levels++
 		res.Stats.Candidates += int64(len(next))
 		if lerr != nil {
@@ -290,16 +332,43 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 			res.truncate(TruncateMaxCandidates)
 			break
 		}
+		// An incomplete level means some worker bailed mid-range (or a stop
+		// aborted a check mid-sort, silently suppressing output): its output
+		// is partial, so the run must stop and report truncation rather than
+		// traverse an incomplete frontier. With no stop reason and no panic,
+		// the only remaining cause is the candidate budget — whose deduped
+		// counter above can stay under the cap even though workers already
+		// dropped candidates.
+		if !complete {
+			if r := d.reason(); r != TruncateNone {
+				res.truncate(r)
+			} else {
+				res.truncate(TruncateMaxCandidates)
+			}
+			break
+		}
 		level = next
 		levelNo++
+		// Only a fully completed level advances the durable barrier; the
+		// final writeCheckpoint below persists the previous barrier
+		// otherwise, and resume re-runs the interrupted level from scratch.
+		levelsDone++
+		d.noteBarrier(level, levelNo, res)
+		if len(level) > 0 && d.checkpointDue(levelsDone) {
+			d.writeCheckpoint(res)
+		}
 	}
 	// A stop that landed during the final level (workers bailed early, so
 	// the tree looks exhausted) must still mark the run partial.
 	if r := d.reason(); r != TruncateNone && !res.Stats.Truncated {
 		res.truncate(r)
 	}
+	// One snapshot covers every exit: on truncation it persists the last
+	// completed barrier; on a full run it persists the empty final frontier,
+	// from which a resume re-emits the complete result without any checks.
+	d.writeCheckpoint(res)
 
-	res.Stats.Checks = d.chk.Checks()
+	res.Stats.Checks = d.checksBase + d.chk.Checks()
 	res.Stats.Elapsed = time.Since(start)
 	sortResult(res)
 
@@ -311,11 +380,13 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 }
 
 // processLevel checks every candidate of the current level, in parallel when
-// d.workers > 1, and returns the deduplicated next level plus any worker
-// panics (joined). A panicking worker never breaks the level barrier: its
-// recover runs before wg.Done, the remaining workers drain normally, and
-// their completed output is still merged.
-func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Result) ([]attr.Pair, error) {
+// d.workers > 1, and returns the deduplicated next level, whether every
+// worker processed its full range (the level is *complete* — a precondition
+// for advancing the checkpoint barrier), and any worker panics (joined). A
+// panicking worker never breaks the level barrier: its recover runs before
+// wg.Done, the remaining workers drain normally, and their completed output
+// is still merged.
+func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Result) ([]attr.Pair, bool, error) {
 	outs := make([]workerOut, d.workers)
 	if d.workers == 1 {
 		d.runWorker(level, 0, 1, reduced, &outs[0])
@@ -337,11 +408,15 @@ func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Res
 	var errs []error
 	seen := make(map[string]struct{})
 	var next []attr.Pair
+	complete := true
 	for i := range outs {
 		res.OCDs = append(res.OCDs, outs[i].ocds...)
 		res.ODs = append(res.ODs, outs[i].ods...)
 		if outs[i].err != nil {
 			errs = append(errs, outs[i].err)
+		}
+		if outs[i].stopped {
+			complete = false
 		}
 		for _, p := range outs[i].next {
 			k := p.UnorderedKey()
@@ -351,7 +426,13 @@ func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Res
 			}
 		}
 	}
-	return next, errors.Join(errs...)
+	// A stop request that landed after the last per-candidate poll can still
+	// have aborted a check mid-sort (conservatively reported invalid), so a
+	// pending reason also disqualifies the level even if no worker noticed.
+	if d.reason() != TruncateNone {
+		complete = false
+	}
+	return next, complete, errors.Join(errs...)
 }
 
 // runWorker isolates one worker's traversal: a panic anywhere under it

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ocd/internal/attr"
+	"ocd/internal/checkpoint"
 )
 
 // OCD is an order compatibility dependency X ~ Y: sorting by XY also sorts
@@ -87,6 +88,27 @@ type Options struct {
 	// over budget the run truncates with TruncateMemoryBudget instead of
 	// growing toward an OOM kill. Zero means no budget.
 	MaxMemoryBytes int64
+	// CheckpointPath, when non-empty, makes the run durable: a snapshot of
+	// the BFS state is atomically written there at level barriers and when
+	// the run truncates for any reason, so an interrupted run can restart
+	// from its last completed level via Resume instead of from scratch.
+	// A snapshot write failure never aborts discovery; the first failure
+	// disables checkpointing for the rest of the run and is recorded in
+	// Stats.CheckpointError.
+	CheckpointPath string
+	// CheckpointEvery writes the periodic level-barrier snapshot only every
+	// N completed levels (truncation and final snapshots are always
+	// written); values < 1 mean every level. Raising it trades durability
+	// granularity for less write amplification on shallow, wide trees.
+	CheckpointEvery int
+	// Resume restarts the traversal from a previously written snapshot
+	// instead of from the initial candidate level. The snapshot's dataset
+	// fingerprint must match the relation (DiscoverContext fails fast with
+	// an error wrapping checkpoint.ErrMismatch otherwise), and the
+	// snapshot's recorded column universe and reduction setting override
+	// Columns/DisableColumnReduction so a resumed run reproduces the
+	// original run's remaining work exactly.
+	Resume *checkpoint.Snapshot
 }
 
 const defaultIndexCacheSize = 64
@@ -162,6 +184,18 @@ type Stats struct {
 	// checker caches to be dropped (graceful degradation short of
 	// truncating the run).
 	MemoryReleases int
+	// Checkpoints counts the snapshots written during the run (periodic
+	// level barriers plus the final truncation/completion snapshot).
+	Checkpoints int
+	// CheckpointError records the first snapshot-write failure; further
+	// checkpointing was disabled from that point. Empty when every write
+	// succeeded (or checkpointing was off).
+	CheckpointError string
+	// Resumed marks a run restarted from a snapshot; Checks, Candidates,
+	// Levels and MemoryReleases then include the original run's counters
+	// up to the snapshot barrier, so the totals of crash + resume equal an
+	// uninterrupted run. Elapsed covers only the resumed run.
+	Resumed bool
 }
 
 // Result is the output of a discovery run.

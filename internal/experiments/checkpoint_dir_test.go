@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ocd/internal/checkpoint"
+	"ocd/internal/core"
+	"ocd/internal/relation"
+)
+
+// TestCheckpointDirGivesEachRunItsOwnSnapshot: with CheckpointDir set, every
+// measured run writes a distinct, loadable snapshot file.
+func TestCheckpointDirGivesEachRunItsOwnSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := TestScale()
+	s.CheckpointDir = dir
+	r := relation.FromInts("tiny/run", nil, [][]int{
+		{1, 1, 2}, {2, 2, 1}, {3, 2, 3}, {4, 3, 1},
+	})
+	for i := 0; i < 2; i++ {
+		if res := discover(s, r, core.Options{}); res.Stats.Checkpoints == 0 {
+			t.Fatalf("run %d wrote no snapshots", i)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 snapshot files, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if _, err := checkpoint.Load(filepath.Join(dir, e.Name())); err != nil {
+			t.Errorf("snapshot %s does not load: %v", e.Name(), err)
+		}
+	}
+}
+
+// TestSanitizeName pins the file-name mapping for odd relation names.
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"LINEITEM": "LINEITEM", "a/b c": "a_b_c", "": "run", "x.y-z_0": "x.y-z_0",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

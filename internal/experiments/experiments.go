@@ -19,8 +19,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ocd/internal/attr"
@@ -51,6 +53,13 @@ type Scale struct {
 	// in-flight discovery runs stop within milliseconds and measurement
 	// loops break at the next sample. Nil means context.Background().
 	Ctx context.Context
+
+	// CheckpointDir, when non-empty, makes every measured discovery run
+	// durable: each run snapshots its traversal into a distinct file under
+	// this directory, so a multi-hour suite killed mid-run loses at most
+	// the level in flight. Empty disables checkpointing (the default — it
+	// adds write I/O to timed runs).
+	CheckpointDir string
 }
 
 // ctx resolves the scale's context, defaulting to Background.
@@ -65,12 +74,36 @@ func (s Scale) ctx() context.Context {
 // loops poll it between samples.
 func (s Scale) cancelled() bool { return s.ctx().Err() != nil }
 
+// ckptSeq numbers the checkpoint files of a suite so concurrent or repeated
+// runs never overwrite each other's snapshots.
+var ckptSeq atomic.Int64
+
 // discover runs one measured discovery under the scale's context; partial
 // (cancelled) runs still return their result so in-progress series keep the
-// samples already measured.
+// samples already measured. With CheckpointDir set, each run writes level
+// snapshots to its own file "<dir>/<relation>-NNN.ckpt".
 func discover(s Scale, r *relation.Relation, opts core.Options) *core.Result {
+	if s.CheckpointDir != "" && opts.CheckpointPath == "" {
+		opts.CheckpointPath = filepath.Join(s.CheckpointDir,
+			fmt.Sprintf("%s-%03d.ckpt", sanitizeName(r.Name), ckptSeq.Add(1)))
+	}
 	res, _ := core.DiscoverContext(s.ctx(), r, opts) // lint:allow errdrop — cancellation is polled via s.cancelled(); partial samples are kept
 	return res
+}
+
+// sanitizeName makes a relation name safe as a file-name component.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "run"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 // DefaultScale returns the laptop-scale settings used by cmd/experiments.

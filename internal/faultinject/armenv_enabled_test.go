@@ -1,0 +1,45 @@
+//go:build faultinject
+
+package faultinject
+
+import "testing"
+
+// TestArmFromEnvArmsPoints: OCD_FAULT specs become live armed points on a
+// tagged build (exit specs are parsed the same way; firing one would kill
+// the test process, so the panic action stands in here).
+func TestArmFromEnvArmsPoints(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "a.point:panic:2; b.point:panic:1")
+	if err := ArmFromEnv(); err != nil {
+		t.Fatalf("ArmFromEnv: %v", err)
+	}
+	Point("a.point") // hit 1 of 2: must not fire
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second hit of a.point should have panicked")
+			}
+		}()
+		Point("a.point")
+	}()
+	func() {
+		defer func() {
+			if v, ok := recover().(PanicValue); !ok || v.Point != "b.point" {
+				t.Errorf("b.point panic value = %v", v)
+			}
+		}()
+		Point("b.point")
+	}()
+}
+
+// TestArmFromEnvRejectsBadSpec: a malformed variable is an error, not a
+// silently skipped fault.
+func TestArmFromEnvRejectsBadSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "not-a-spec")
+	if err := ArmFromEnv(); err == nil {
+		t.Fatal("expected an error for a malformed OCD_FAULT")
+	}
+}

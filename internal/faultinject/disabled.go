@@ -2,6 +2,11 @@
 
 package faultinject
 
+import (
+	"fmt"
+	"os"
+)
+
 // Enabled reports whether fault injection is compiled in.
 const Enabled = false
 
@@ -20,3 +25,13 @@ func Reset() {}
 
 // Hits always reports zero without the faultinject build tag.
 func Hits(string) int64 { return 0 }
+
+// ArmFromEnv fails loudly when the EnvVar environment variable is set on a
+// build without the faultinject tag: silently ignoring it would make a
+// crash-driver script's "kill" quietly never happen.
+func ArmFromEnv() error {
+	if v := os.Getenv(EnvVar); v != "" {
+		return fmt.Errorf("faultinject: %s=%q set but fault injection is not compiled in (rebuild with -tags=faultinject)", EnvVar, v)
+	}
+	return nil
+}

@@ -2,7 +2,10 @@
 
 package faultinject
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestDisabledIsInert pins the production contract: without the build tag,
 // arming a point does nothing, hitting it does nothing, and no state is
@@ -20,4 +23,18 @@ func TestDisabledIsInert(t *testing.T) {
 		t.Errorf("Hits = %d without the tag, want 0", got)
 	}
 	Disarm("x")
+}
+
+// TestArmFromEnvRefusedWithoutTag: a production build must reject a set
+// OCD_FAULT instead of silently ignoring it — a crash-driver script whose
+// kill never fires would otherwise "pass" its chaos run vacuously.
+func TestArmFromEnvRefusedWithoutTag(t *testing.T) {
+	t.Setenv(EnvVar, "core.level.start:exit:2")
+	err := ArmFromEnv()
+	if err == nil {
+		t.Fatal("ArmFromEnv must fail when OCD_FAULT is set on a no-tag build")
+	}
+	if !strings.Contains(err.Error(), "-tags=faultinject") {
+		t.Errorf("error should point at the missing build tag: %v", err)
+	}
 }

@@ -3,6 +3,8 @@
 package faultinject
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,5 +89,28 @@ func Point(name string) {
 		if a.rule.Call != nil {
 			a.rule.Call()
 		}
+	case ActionExit:
+		// Simulated power loss: no deferred cleanup, no recovery. The note
+		// on stderr lets crash-driver scripts confirm where the kill landed.
+		fmt.Fprintf(os.Stderr, "faultinject: exiting at %s (hit %d)\n", name, n)
+		os.Exit(ExitCode)
 	}
+}
+
+// ArmFromEnv arms every point listed in the EnvVar environment variable (see
+// its doc for the format), letting scripts crash-test real binaries built
+// with the faultinject tag. An unset or empty variable is a no-op.
+func ArmFromEnv() error {
+	val := os.Getenv(EnvVar)
+	if val == "" {
+		return nil
+	}
+	for _, spec := range splitSpecs(val) {
+		point, rule, err := ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		Arm(point, rule)
+	}
+	return nil
 }

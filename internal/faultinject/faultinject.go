@@ -22,7 +22,12 @@
 // adding new ones.
 package faultinject
 
-import "time"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
 
 // Action selects what an armed point does when its trigger fires.
 type Action int
@@ -37,7 +42,26 @@ const (
 	// ActionCancel invokes Rule.Call, typically a context.CancelFunc,
 	// landing a cancellation at an exact point in the computation.
 	ActionCancel
+	// ActionExit terminates the process immediately with ExitCode — no
+	// deferred functions, no recovery. This simulates a kill -9 / power loss
+	// for crash-and-resume tests driven from scripts via ArmFromEnv; it is
+	// never what an in-process test wants (use ActionPanic there).
+	ActionExit
 )
+
+// ExitCode is the status an ActionExit point terminates the process with;
+// distinctive so crash-driver scripts can tell an injected kill from an
+// ordinary failure.
+const ExitCode = 86
+
+// EnvVar is the environment variable ArmFromEnv reads. The value is a
+// semicolon-separated list of `point:action:nth` specs, where action is
+// "panic" or "exit" and nth is the 1-based hit that fires it, e.g.
+//
+//	OCD_FAULT="core.level.start:exit:2"
+//
+// kills the process when the traversal reaches the second level.
+const EnvVar = "OCD_FAULT"
 
 // String names the action.
 func (a Action) String() string {
@@ -48,8 +72,43 @@ func (a Action) String() string {
 		return "delay"
 	case ActionCancel:
 		return "cancel"
+	case ActionExit:
+		return "exit"
 	}
 	return "unknown"
+}
+
+// ParseSpec parses one `point:action:nth` element of the EnvVar format.
+func ParseSpec(spec string) (point string, r Rule, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return "", Rule{}, fmt.Errorf("faultinject: bad spec %q, want point:action:nth", spec)
+	}
+	switch parts[1] {
+	case "panic":
+		r.Action = ActionPanic
+	case "exit":
+		r.Action = ActionExit
+	default:
+		return "", Rule{}, fmt.Errorf("faultinject: bad action %q in %q, want panic or exit", parts[1], spec)
+	}
+	n, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil || n < 1 {
+		return "", Rule{}, fmt.Errorf("faultinject: bad nth %q in %q, want a positive integer", parts[2], spec)
+	}
+	r.Nth = n
+	return parts[0], r, nil
+}
+
+// splitSpecs splits the EnvVar value into its non-empty elements.
+func splitSpecs(val string) []string {
+	var out []string
+	for _, s := range strings.Split(val, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Rule configures an armed injection point. Exactly one trigger should be

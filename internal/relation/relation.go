@@ -170,7 +170,8 @@ func FromStrings(name string, colNames []string, rows [][]string, opts Options) 
 	nc := len(colNames)
 	for i, row := range rows {
 		if len(row) != nc {
-			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(row), nc)
+			// Row numbers in errors are 1-based data rows.
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i+1, len(row), nc)
 		}
 	}
 	r := &Relation{
@@ -195,7 +196,7 @@ func FromStrings(name string, colNames []string, rows [][]string, opts Options) 
 		}
 		codes, disp, distinct, hasNull, err := encodeColumn(raw, kind, nulls)
 		if err != nil {
-			return nil, fmt.Errorf("relation %s, column %s: %w", name, colNames[c], err)
+			return nil, fmt.Errorf("relation %s: column %d (%s): %w", name, c+1, colNames[c], err)
 		}
 		r.Kinds[c] = kind
 		r.Codes[c] = codes
@@ -229,7 +230,7 @@ func FromIntsErr(name string, colNames []string, rows [][]int) (*Relation, error
 	raw := make([][]string, len(rows))
 	for i, row := range rows {
 		if len(row) != nc {
-			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(row), nc)
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i+1, len(row), nc)
 		}
 		sr := make([]string, nc)
 		for j, v := range row {
@@ -327,7 +328,7 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32
 		f float64
 	}
 	seen := make(map[string]entry)
-	for _, s := range raw {
+	for row, s := range raw {
 		if nulls[s] {
 			hasNull = true
 			continue
@@ -336,16 +337,18 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32
 			continue
 		}
 		e := entry{s: s}
+		// row+1: errors report 1-based data rows, and the first occurrence
+		// of a distinct value is the row that fails to coerce.
 		switch kind {
 		case KindInt:
 			e.i, err = strconv.ParseInt(s, 10, 64)
 			if err != nil {
-				return nil, nil, 0, false, fmt.Errorf("value %q does not parse as INTEGER", s)
+				return nil, nil, 0, false, fmt.Errorf("row %d: value %q does not parse as INTEGER", row+1, s)
 			}
 		case KindFloat:
 			e.f, err = strconv.ParseFloat(s, 64)
 			if err != nil {
-				return nil, nil, 0, false, fmt.Errorf("value %q does not parse as REAL", s)
+				return nil, nil, 0, false, fmt.Errorf("row %d: value %q does not parse as REAL", row+1, s)
 			}
 		}
 		seen[s] = e

@@ -19,8 +19,14 @@
 #                                through the fault-injection points, plus
 #                                a -race pass of the cancellation and
 #                                chaos tests (docs/ROBUSTNESS.md)
-#   6. fuzz smokes               FuzzCSVParse and FuzzRankEncode for
-#                                FUZZTIME each (default 10s)
+#   6. resume chaos              scripts/resume_chaos.sh kills a
+#                                faultinject ocddiscover mid-level and
+#                                mid-snapshot-rename, resumes from the
+#                                checkpoint, and diffs the output against
+#                                an uninterrupted run
+#   7. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
+#                                FuzzCheckpointDecode for FUZZTIME each
+#                                (default 10s)
 #
 # Usage:
 #   scripts/check.sh             full gate
@@ -55,11 +61,16 @@ go test -tags=faultinject ./...
 step "chaos: go test -tags=faultinject -race (core, faultinject)"
 go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
+step "chaos: kill-and-resume differential (scripts/resume_chaos.sh)"
+scripts/resume_chaos.sh
+
 if [ "$FUZZTIME" != "0" ]; then
     for target in FuzzCSVParse FuzzRankEncode; do
         step "fuzz $target ($FUZZTIME)"
         go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" ./internal/relation/
     done
+    step "fuzz FuzzCheckpointDecode ($FUZZTIME)"
+    go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime="$FUZZTIME" ./internal/checkpoint/
 fi
 
 step "all checks passed"

@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json chaos resume-chaos fuzz check
+.PHONY: build test race lint lint-json chaos resume-chaos fuzz bench bench-smoke check
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ test:
 race:
 	go test -race ./...
 
-# lint runs go vet plus the full seven-analyzer ocdlint suite
+# lint runs go vet plus the full eight-analyzer ocdlint suite
 # (docs/LINTING.md); lint-json emits the findings as a JSON array for
 # machine consumption.
 lint:
@@ -39,6 +39,16 @@ fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
 	go test -run='^$$' -fuzz='^FuzzRankEncode$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/
 	go test -run='^$$' -fuzz='^FuzzCheckpointDecode$$' -fuzztime=$${FUZZTIME:-10s} ./internal/checkpoint/
+
+# bench runs the tracked benchmark set, writes BENCH_<date>.json and
+# compares it against the latest committed baseline (>10% slowdowns exit 3;
+# see docs/OBSERVABILITY.md). bench-smoke is the cheap CI variant: one
+# iteration per benchmark, output parsed, nothing written.
+bench:
+	scripts/bench.sh
+
+bench-smoke:
+	scripts/bench.sh --smoke
 
 check:
 	scripts/check.sh

@@ -1,0 +1,343 @@
+// Command benchjson turns `go test -bench` output into the repo's
+// benchmark-trajectory format (BENCH_<date>.json), compares two trajectory
+// files for regressions, and diffs metrics registry dumps — the plumbing
+// behind scripts/bench.sh and the resume-chaos metrics differential.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -emit [-out BENCH_2026-08-06.json]
+//	benchjson -compare old.json new.json [-threshold 0.10]
+//	benchjson -validate file.json
+//	benchjson -metrics-diff a.json b.json -keys discover.checks,discover.ocds
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 regression or metrics mismatch
+// found (the comparison itself succeeded; its verdict is negative).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+const (
+	schemaID     = "ocd-bench/v1"
+	exitVerdict  = 3
+	defaultLimit = 0.10
+)
+
+// File is one benchmark-trajectory snapshot.
+type File struct {
+	Schema     string      `json:"schema"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one measured benchmark; repeated runs of the same name are
+// averaged at emit time.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "parse `go test -bench` output on stdin into a trajectory file")
+		out       = flag.String("out", "", "output file for -emit (default stdout)")
+		compare   = flag.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
+		threshold = flag.Float64("threshold", defaultLimit, "relative ns/op slowdown that counts as a regression for -compare")
+		validate  = flag.Bool("validate", false, "check that a trajectory file parses and matches the schema")
+		mdiff     = flag.Bool("metrics-diff", false, "diff two metrics registry dumps: benchjson -metrics-diff a.json b.json -keys ...")
+		keys      = flag.String("keys", "", "comma-separated counter names compared by -metrics-diff")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *emit:
+		err = runEmit(os.Stdin, *out)
+	case *compare:
+		if flag.NArg() != 2 {
+			usage("-compare needs exactly two files")
+		}
+		err = runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	case *validate:
+		if flag.NArg() != 1 {
+			usage("-validate needs exactly one file")
+		}
+		err = runValidate(flag.Arg(0))
+	case *mdiff:
+		if flag.NArg() != 2 {
+			usage("-metrics-diff needs exactly two files")
+		}
+		if *keys == "" {
+			usage("-metrics-diff needs -keys")
+		}
+		err = runMetricsDiff(flag.Arg(0), flag.Arg(1), strings.Split(*keys, ","))
+	default:
+		usage("one of -emit, -compare, -validate, -metrics-diff is required")
+	}
+	if err != nil {
+		var v verdictError
+		if ok := asVerdict(err, &v); ok {
+			fmt.Fprintln(os.Stderr, "benchjson:", v.msg)
+			os.Exit(exitVerdict)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// verdictError marks a negative comparison verdict (exit 3), as opposed to
+// an operational failure (exit 1).
+type verdictError struct{ msg string }
+
+func (e verdictError) Error() string { return e.msg }
+
+func asVerdict(err error, out *verdictError) bool {
+	v, ok := err.(verdictError)
+	if ok {
+		*out = v
+	}
+	return ok
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkTable6/lineitem-8   30   39123456 ns/op   1234 B/op   56 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBench reads `go test -bench` output and averages repeated runs of
+// the same benchmark name.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	type acc struct {
+		n                  int
+		ns, bytes, allocs  float64
+		hasBytes, hasAlloc bool
+	}
+	accs := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.n++
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		a.ns += ns
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			a.bytes += v
+			a.hasBytes = true
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			a.allocs += v
+			a.hasAlloc = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	var out []Benchmark
+	for _, name := range order {
+		a := accs[name]
+		b := Benchmark{Name: name, Runs: a.n, NsPerOp: a.ns / float64(a.n)}
+		if a.hasBytes {
+			b.BytesPerOp = a.bytes / float64(a.n)
+		}
+		if a.hasAlloc {
+			b.AllocsPerOp = a.allocs / float64(a.n)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func runEmit(r io.Reader, out string) error {
+	benches, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	f := File{
+		Schema:     schemaID,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: benches,
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		file, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaID {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaID)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, b := range f.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: invalid benchmark entry %+v", path, b)
+		}
+	}
+	return &f, nil
+}
+
+func runValidate(path string) error {
+	f, err := loadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%s, %d benchmarks)\n", path, f.Date, len(f.Benchmarks))
+	return nil
+}
+
+func runCompare(oldPath, newPath string, threshold float64) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var names []string
+	newBy := map[string]Benchmark{}
+	for _, b := range newF.Benchmarks {
+		if _, shared := oldBy[b.Name]; shared {
+			names = append(names, b.Name)
+			newBy[b.Name] = b
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	var regressions []string
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		marker := ""
+		if delta > threshold {
+			marker = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %+.1f%%", name, delta*100))
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta*100, marker)
+	}
+	fmt.Printf("compared %d benchmarks (%s -> %s), threshold %.0f%%\n",
+		len(names), oldF.Date, newF.Date, threshold*100)
+	if len(regressions) > 0 {
+		return verdictError{fmt.Sprintf("%d regression(s) over %.0f%%: %s",
+			len(regressions), threshold*100, strings.Join(regressions, "; "))}
+	}
+	return nil
+}
+
+// metricsDump is the subset of an obs registry JSON dump the differential
+// needs; unknown fields (gauges, histograms) are ignored.
+type metricsDump struct {
+	Counters map[string]int64 `json:"counters"`
+}
+
+func runMetricsDiff(aPath, bPath string, keys []string) error {
+	load := func(path string) (metricsDump, error) {
+		var d metricsDump
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return d, err
+		}
+		if err := json.Unmarshal(data, &d); err != nil {
+			return d, fmt.Errorf("%s: %w", path, err)
+		}
+		return d, nil
+	}
+	a, err := load(aPath)
+	if err != nil {
+		return err
+	}
+	b, err := load(bPath)
+	if err != nil {
+		return err
+	}
+	var diffs []string
+	for _, key := range keys {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		av, bv := a.Counters[key], b.Counters[key]
+		if av != bv {
+			diffs = append(diffs, fmt.Sprintf("%s: %d != %d", key, av, bv))
+		} else {
+			fmt.Printf("%s: %d == %d\n", key, av, bv)
+		}
+	}
+	if len(diffs) > 0 {
+		return verdictError{"metrics differ: " + strings.Join(diffs, "; ")}
+	}
+	return nil
+}

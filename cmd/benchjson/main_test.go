@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ocd
+cpu: some CPU
+BenchmarkTable6/lineitem-8         	      30	  39123456 ns/op	 1234 B/op	      56 allocs/op
+BenchmarkTable6/lineitem-8         	      32	  41000000 ns/op	 1200 B/op	      54 allocs/op
+BenchmarkObsOverhead/disabled-8    	     100	  10000000 ns/op
+BenchmarkObsOverhead/enabled-8     	     100	  10300000 ns/op
+PASS
+ok  	ocd	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	li := benches[0]
+	if li.Name != "BenchmarkTable6/lineitem-8" || li.Runs != 2 {
+		t.Errorf("first benchmark = %+v", li)
+	}
+	if want := (39123456.0 + 41000000.0) / 2; li.NsPerOp != want {
+		t.Errorf("averaged ns/op = %f, want %f", li.NsPerOp, want)
+	}
+	if li.AllocsPerOp != 55 {
+		t.Errorf("averaged allocs/op = %f, want 55", li.AllocsPerOp)
+	}
+	if benches[1].BytesPerOp != 0 {
+		t.Errorf("benchmark without -benchmem got bytes/op %f", benches[1].BytesPerOp)
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok ocd 0.1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func writeTrajectory(t *testing.T, path, date string, ns map[string]float64) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"schema":"ocd-bench/v1","date":"` + date + `","go":"go1.23","goos":"linux","goarch":"amd64","cpus":8,"benchmarks":[`)
+	first := true
+	for name, v := range ns {
+		if !first {
+			sb.WriteString(",")
+		}
+		first = false
+		sb.WriteString(`{"name":"` + name + `","runs":1,"ns_per_op":` + trimFloat(v) + `}`)
+	}
+	sb.WriteString("]}")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeTrajectory(t, oldP, "2026-08-01", map[string]float64{
+		"BenchmarkA-8": 1000,
+		"BenchmarkB-8": 2000,
+	})
+	writeTrajectory(t, newP, "2026-08-06", map[string]float64{
+		"BenchmarkA-8": 1050, // +5%: fine
+		"BenchmarkB-8": 2500, // +25%: regression
+	})
+	err := runCompare(oldP, newP, 0.10)
+	var v verdictError
+	if !asVerdict(err, &v) {
+		t.Fatalf("want verdict error, got %v", err)
+	}
+	if !strings.Contains(v.msg, "BenchmarkB-8") {
+		t.Errorf("verdict %q does not name the regressed benchmark", v.msg)
+	}
+
+	if err := runCompare(oldP, newP, 0.30); err != nil {
+		t.Errorf("threshold 30%% should pass, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runValidate(bad); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	missing := filepath.Join(dir, "missing.json")
+	if err := runValidate(missing); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMetricsDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	os.WriteFile(a, []byte(`{"counters":{"discover.checks":100,"discover.ocds":5,"order.index_cache.hits":40}}`), 0o644)
+	os.WriteFile(b, []byte(`{"counters":{"discover.checks":100,"discover.ocds":5,"order.index_cache.hits":7}}`), 0o644)
+
+	if err := runMetricsDiff(a, b, []string{"discover.checks", "discover.ocds"}); err != nil {
+		t.Errorf("deterministic keys equal but diff failed: %v", err)
+	}
+	err := runMetricsDiff(a, b, []string{"discover.checks", "order.index_cache.hits"})
+	var v verdictError
+	if !asVerdict(err, &v) {
+		t.Fatalf("want verdict error for differing key, got %v", err)
+	}
+	if !strings.Contains(v.msg, "order.index_cache.hits") {
+		t.Errorf("verdict %q does not name the differing key", v.msg)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"ocd/internal/experiments"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		plot    = flag.Bool("plot", false, "render figure series as ASCII log-scale charts")
 		csvDir  = flag.String("csv-dir", "", "also write each figure's series as CSV into this directory")
 		ckptDir = flag.String("checkpoint-dir", "", "write per-run resumable snapshots into this directory")
+		dbgAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address for the suite's duration")
 	)
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
@@ -50,6 +52,16 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *dbgAddr != "" {
+		bound, stop, err := obs.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/pprof/\n", bound)
+	}
 
 	s := experiments.DefaultScale()
 	s.Ctx = ctx

@@ -8,6 +8,15 @@
 //	            [-no-header] [-force-string] [-max-level 0]
 //	            [-top-entropy 0] [-expand 20] [-partial-ok]
 //	            [-checkpoint run.ckpt] [-resume run.ckpt]
+//	            [-progress] [-metrics-out m.json] [-trace-out t.json]
+//	            [-trace-tree-out tree.json] [-debug-addr :6060]
+//
+// -progress renders a live status line (level, frontier, checks/s, cache hit
+// rate, ETA) on stderr. -metrics-out dumps the run's metrics registry as
+// JSON; -trace-out writes a Chrome trace_event file loadable in
+// chrome://tracing or Perfetto; -trace-tree-out writes the same spans as a
+// nested JSON tree. -debug-addr serves /debug/pprof, /debug/vars and
+// /metrics for the duration of the run.
 //
 // Interrupting a run (Ctrl-C / SIGINT / SIGTERM) still prints the partial
 // summary of everything found so far. With -checkpoint the run is also
@@ -26,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +68,12 @@ func main() {
 		ckptPath    = flag.String("checkpoint", "", "write a resumable snapshot to this file at every completed level")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "snapshot only every n completed levels (0 = every level)")
 		resumeFrom  = flag.String("resume", "", "restart from the snapshot at this path (input must be the original data)")
+		progress    = flag.Bool("progress", false, "render a live status line on stderr (level, throughput, cache hit rate, ETA)")
+		reportEvery = flag.Int64("report-every", 0, "progress sample cadence in checks (0 = default 10000)")
+		metricsOut  = flag.String("metrics-out", "", "write the run's metrics registry as JSON to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event file (chrome://tracing, Perfetto) to this path")
+		traceTree   = flag.String("trace-tree-out", "", "write the span tree as JSON to this path")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -77,6 +93,26 @@ func main() {
 		*ckptPath = *resumeFrom
 	}
 
+	// Observability: one registry + tracer cover load and discovery; all of
+	// it stays nil (and free) unless a flag asks for it.
+	var metrics *ocd.Metrics
+	if *metricsOut != "" || *debugAddr != "" || *progress {
+		metrics = ocd.NewMetrics()
+	}
+	var tracer *ocd.Tracer
+	if *traceOut != "" || *traceTree != "" {
+		tracer = ocd.NewTracer("ocddiscover")
+	}
+	if *debugAddr != "" {
+		bound, stop, err := ocd.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "ocddiscover: debug server on http://%s/debug/pprof/\n", bound)
+	}
+
 	opts := []ocd.LoadOption{}
 	if *forceString {
 		opts = append(opts, ocd.ForceString())
@@ -86,6 +122,9 @@ func main() {
 	}
 	if len(*sep) > 0 && rune((*sep)[0]) != ',' {
 		opts = append(opts, ocd.Delimiter(rune((*sep)[0])))
+	}
+	if tracer != nil {
+		opts = append(opts, ocd.WithTrace(tracer.Root()))
 	}
 	tbl, err := ocd.LoadCSVFile(*input, opts...)
 	if err != nil {
@@ -104,6 +143,14 @@ func main() {
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
 		ResumeFrom:      *resumeFrom,
+		Metrics:         metrics,
+		ReportEvery:     *reportEvery,
+	}
+	if tracer != nil {
+		dopts.Trace = tracer.Root()
+	}
+	if *progress {
+		dopts.Reporter = ocd.NewProgressWriter(os.Stderr, 100*time.Millisecond)
 	}
 	if *topEntropy > 0 {
 		dopts.Columns = tbl.TopEntropyColumns(*topEntropy)
@@ -133,6 +180,31 @@ func main() {
 	}
 	_ = start
 
+	// Export observability artifacts before printing results, so they exist
+	// even if a later write fails. A partial run's trace and metrics are just
+	// as useful as a complete one's.
+	if tracer != nil {
+		tracer.Finish()
+	}
+	if *metricsOut != "" {
+		if err := writeArtifact(*metricsOut, metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeArtifact(*traceOut, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceTree != "" {
+		if err := writeArtifact(*traceTree, tracer.WriteTree); err != nil {
+			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *depsOut != "" {
 		if err := writeDeps(*depsOut, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ocddiscover:", err)
@@ -154,6 +226,7 @@ func main() {
 			Checks           int64      `json:"checks"`
 			Candidates       int64      `json:"candidates"`
 			ElapsedMS        int64      `json:"elapsed_ms"`
+			PriorElapsedMS   int64      `json:"prior_elapsed_ms,omitempty"`
 			Truncated        bool       `json:"truncated"`
 			TruncateReason   string     `json:"truncate_reason,omitempty"`
 			Resumed          bool       `json:"resumed,omitempty"`
@@ -168,7 +241,9 @@ func main() {
 			ConstantColumns: res.ConstantColumns, EquivalentGroups: res.EquivalentGroups,
 			ExpandedODCount: res.CountODs(),
 			Checks:          res.Stats.Checks, Candidates: res.Stats.Candidates,
-			ElapsedMS: res.Stats.Elapsed.Milliseconds(), Truncated: res.Stats.Truncated,
+			ElapsedMS:       res.Stats.Elapsed.Milliseconds(),
+			PriorElapsedMS:  res.Stats.PriorElapsed.Milliseconds(),
+			Truncated:       res.Stats.Truncated,
 			TruncateReason:  string(res.Stats.TruncateReason),
 			Resumed:         res.Stats.Resumed,
 			Checkpoints:     res.Stats.Checkpoints,
@@ -226,6 +301,20 @@ func main() {
 		fmt.Printf("\ncheckpoint: %s\nresume with: %s\n", path, resumeCommand(path))
 	}
 	exit(res, *partialOK)
+}
+
+// writeArtifact writes one observability export (metrics JSON, trace) via
+// the given marshal function.
+func writeArtifact(path string, marshal func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := marshal(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // resumableSnapshot reports whether the truncated run left a snapshot worth

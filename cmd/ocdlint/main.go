@@ -5,6 +5,8 @@
 //	atomicfield  — no mixed atomic/plain access to shared counters
 //	listalias    — no aliasing append on attr.List backing arrays
 //	hotloopalloc — no per-iteration allocation in // lint:hot loops
+//	obshot       — no locking obs calls (registry lookups, span ops)
+//	               in // lint:hot loops; only atomic handle ops
 //	lockbalance  — mutexes released on every CFG path; nothing
 //	               blocking or expensive inside a critical section
 //	wgcheck      — WaitGroup protocol: Add before go, Done on every
@@ -35,6 +37,7 @@ import (
 	"ocd/internal/analysis/listalias"
 	"ocd/internal/analysis/lockbalance"
 	"ocd/internal/analysis/nopanic"
+	"ocd/internal/analysis/obshot"
 	"ocd/internal/analysis/wgcheck"
 )
 
@@ -45,6 +48,7 @@ var analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	listalias.Analyzer,
 	hotloopalloc.Analyzer,
+	obshot.Analyzer,
 	lockbalance.Analyzer,
 	wgcheck.Analyzer,
 	errdrop.Analyzer,

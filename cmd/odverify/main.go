@@ -14,6 +14,7 @@
 // Usage:
 //
 //	odverify -input data.csv -deps constraints.txt [-eps 0.01]
+//	         [-metrics-out m.json] [-debug-addr :6060]
 //
 // Exit status 0 when everything holds (or is within -eps), 1 otherwise,
 // 3 when interrupted (Ctrl-C) before all dependencies were checked — the
@@ -31,16 +32,19 @@ import (
 	"ocd/internal/approx"
 	"ocd/internal/depfile"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 	"ocd/internal/order"
 	"ocd/internal/relation"
 )
 
 func main() {
 	var (
-		input = flag.String("input", "", "CSV file (required)")
-		deps  = flag.String("deps", "", "dependency file (required)")
-		eps   = flag.Float64("eps", 0, "tolerated violation fraction (approximate check)")
-		sep   = flag.String("sep", ",", "CSV field separator")
+		input      = flag.String("input", "", "CSV file (required)")
+		deps       = flag.String("deps", "", "dependency file (required)")
+		eps        = flag.Float64("eps", 0, "tolerated violation fraction (approximate check)")
+		sep        = flag.String("sep", ",", "CSV field separator")
+		metricsOut = flag.String("metrics-out", "", "write the checker's metrics (cache hits/misses) as JSON to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
 	if err := faultinject.ArmFromEnv(); err != nil {
@@ -77,7 +81,21 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		bound, stop, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "odverify: debug server on http://%s/debug/pprof/\n", bound)
+	}
+
 	chk := order.NewChecker(r, 64)
+	chk.SetObs(reg)
 	apx := approx.NewChecker(r)
 	failures := 0
 	checked := 0
@@ -127,11 +145,28 @@ func main() {
 		}
 		fmt.Printf("FAIL  %s (error %.4f; %s)\n", d.Raw, e, witness)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fail(err)
+		}
+	}
 	if failures > 0 {
 		fmt.Printf("%d of %d dependencies violated\n", failures, len(parsed))
 		os.Exit(1)
 	}
 	fmt.Printf("all %d dependencies hold\n", len(parsed))
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

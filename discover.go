@@ -60,6 +60,24 @@ type Options struct {
 	// errors.Is(err, ErrCheckpointMismatch). The snapshot's column universe
 	// and reduction setting override Columns/DisableColumnReduction.
 	ResumeFrom string
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms (check latency, cache hit/miss, per-level candidate counts,
+	// worker busy time, …). Safe to Snapshot concurrently with the run. On a
+	// resumed run the registry is restored from the snapshot first, so
+	// crash + resume totals match an uninterrupted run's.
+	Metrics *Metrics
+	// Trace, when non-nil, is the parent span under which the engine records
+	// its phase tree: discover → parse/rank-encode happen at load time,
+	// reduction and each BFS level (with per-worker child spans) during the
+	// run. Use NewTracer and pass its Root.
+	Trace *Span
+	// Reporter, when non-nil, receives live Progress samples at every level
+	// barrier and every ReportEvery checks. See NewProgressWriter for the
+	// stderr ticker used by ocddiscover -progress.
+	Reporter Reporter
+	// ReportEvery is the check cadence of mid-level Reporter samples;
+	// values < 1 select a default (10000).
+	ReportEvery int64
 }
 
 // TruncateReason explains why a run returned partial results; the zero value
@@ -172,6 +190,10 @@ type Stats struct {
 	// counters up to the snapshot, so crash + resume totals equal an
 	// uninterrupted run. Elapsed covers only the resumed run.
 	Resumed bool
+	// PriorElapsed is the wall-clock time the original run(s) had spent when
+	// the snapshot this run resumed from was written; zero on fresh runs.
+	// Elapsed + PriorElapsed is the total cost of the discovery.
+	PriorElapsed time.Duration
 }
 
 // Result holds the dependencies found by Discover.
@@ -247,6 +269,10 @@ func (t *Table) DiscoverContext(ctx context.Context, opts Options) (*Result, err
 		CheckpointPath:         opts.CheckpointPath,
 		CheckpointEvery:        opts.CheckpointEvery,
 		Resume:                 snap,
+		Metrics:                opts.Metrics,
+		Trace:                  opts.Trace,
+		Reporter:               opts.Reporter,
+		ReportEvery:            opts.ReportEvery,
 	})
 	var pe *core.PanicError
 	if errors.As(err, &pe) {
@@ -281,6 +307,7 @@ func (t *Table) wrapResult(inner *core.Result) *Result {
 		Checkpoints:     inner.Stats.Checkpoints,
 		CheckpointError: inner.Stats.CheckpointError,
 		Resumed:         inner.Stats.Resumed,
+		PriorElapsed:    inner.Stats.PriorElapsed,
 	}
 	return res
 }
@@ -323,6 +350,9 @@ func (r *Result) Summary() string {
 		len(r.OCDs), len(r.ODs), len(r.ConstantColumns), len(r.EquivalentGroups))
 	fmt.Fprintf(&b, "expanded ODs: %d | checks: %d | candidates: %d | elapsed: %v",
 		r.CountODs(), r.Stats.Checks, r.Stats.Candidates, r.Stats.Elapsed.Round(time.Microsecond))
+	if r.Stats.PriorElapsed > 0 {
+		fmt.Fprintf(&b, " (+%v before resume)", r.Stats.PriorElapsed.Round(time.Microsecond))
+	}
 	if r.Stats.Truncated {
 		if r.Stats.TruncateReason != TruncateNone {
 			fmt.Fprintf(&b, " (truncated: %s)", r.Stats.TruncateReason)

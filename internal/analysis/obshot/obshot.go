@@ -1,0 +1,155 @@
+// Package obshot keeps observability off the check path: inside loops of
+// functions marked // lint:hot it flags every call into the obs package
+// except the pre-resolved instrument operations that compile to a single
+// atomic access (Counter.Inc/Add/Store/Value, Gauge.Set/Add/Value,
+// Histogram.Observe/Count/Sum).
+//
+// The discovery hot loops run once per candidate over millions of rows.
+// The instrument handles are designed so that the only observability cost
+// there is one atomic add; a Registry.Counter lookup (mutex + map), a
+// Span.StartChild (lock + allocation) or a Registry.Snapshot inside such a
+// loop reintroduces exactly the contention the handle indirection exists
+// to avoid — and keeps working, so nothing but this check catches it.
+// Resolve handles and open spans outside the loop, or at a level barrier.
+//
+// The marker is the same opt-in // lint:hot doc-comment used by
+// hotloopalloc. Suppress a deliberate site with // lint:allow obshot.
+package obshot
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the obshot analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obshot",
+	Doc:  "flags non-atomic obs calls (registry lookups, span ops, snapshots) inside loops of functions marked // lint:hot (suppress with // lint:allow obshot)",
+	Run:  run,
+}
+
+// atomicMethods lists the obs receiver types and methods that are a single
+// atomic access and therefore allowed in hot loops.
+var atomicMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true, "Store": true, "Value": true},
+	"Gauge":     {"Set": true, "Add": true, "Value": true},
+	"Histogram": {"Observe": true, "Count": true, "Sum": true},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHot(fn) {
+				continue
+			}
+			w := &walker{pass: pass, allow: allow, fn: fn.Name.Name}
+			w.walk(fn.Body, false)
+		}
+	}
+	return nil, nil
+}
+
+// isHot reports whether the function's doc comment carries the
+// lint:hot marker.
+func isHot(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "lint:hot")
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	allow *lintutil.Allower
+	fn    string
+}
+
+// walk traverses n; hot is true when every evaluation of n happens once
+// per loop iteration (the same traversal shape as hotloopalloc).
+func (w *walker) walk(n ast.Node, hot bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case nil:
+			return true
+		case *ast.ForStmt:
+			if s != n {
+				w.walk(s.Init, hot)
+				w.walk(s.Cond, true)
+				w.walk(s.Post, true)
+				w.walk(s.Body, true)
+				return false
+			}
+			return true
+		case *ast.RangeStmt:
+			if s != n {
+				w.walk(s.X, hot)
+				w.walk(s.Body, true)
+				return false
+			}
+			return true
+		}
+		if hot {
+			w.checkNode(m)
+		}
+		return true
+	})
+}
+
+// checkNode reports calls into the obs package that are not on the atomic
+// allow-list. The package is matched by name so the analysistest fixtures
+// (testdata/src/obs) exercise the same code path as ocd/internal/obs.
+func (w *walker) checkNode(n ast.Node) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		if allowed := atomicMethods[recvTypeName(recv.Type())]; allowed != nil && allowed[fn.Name()] {
+			return
+		}
+	}
+	if w.allow.Allows(call.Pos(), "obshot") {
+		return
+	}
+	target := fn.Name()
+	if recv := sig.Recv(); recv != nil {
+		target = recvTypeName(recv.Type()) + "." + fn.Name()
+	}
+	w.pass.Reportf(call.Pos(),
+		"obs.%s inside a loop of hot function %s locks or allocates per iteration; resolve handles and spans outside the loop",
+		target, w.fn)
+}
+
+// recvTypeName returns the bare type name of a method receiver,
+// dereferencing a pointer receiver.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+package obshot_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/obshot"
+)
+
+func TestObsHotLoops(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obshot.Analyzer, "a")
+}

@@ -1,0 +1,65 @@
+// Package a exercises the obshot hot-loop patterns.
+package a
+
+import "obs"
+
+// HotBad resolves and snapshots per iteration.
+// lint:hot
+func HotBad(reg *obs.Registry, span *obs.Span, rows []int) int {
+	n := 0
+	for range rows {
+		reg.Counter("discover.checks").Inc() // want `obs\.Registry\.Counter inside a loop of hot function HotBad`
+		n += reg.Snapshot()                  // want `obs\.Registry\.Snapshot inside a loop of hot function HotBad`
+		sp := span.StartChild("row")         // want `obs\.Span\.StartChild inside a loop of hot function HotBad`
+		sp.SetAttr("n", int64(n))            // want `obs\.Span\.SetAttr inside a loop of hot function HotBad`
+		sp.End()                             // want `obs\.Span\.End inside a loop of hot function HotBad`
+	}
+	return n
+}
+
+// HotGood uses pre-resolved handles: every in-loop call is one atomic op.
+// lint:hot
+func HotGood(checks *obs.Counter, level *obs.Gauge, lat *obs.Histogram, rows []int) int64 {
+	for i := range rows {
+		checks.Inc()
+		checks.Add(2)
+		level.Set(int64(i))
+		lat.Observe(int64(i))
+	}
+	return checks.Value()
+}
+
+// HotHeader locks in the loop condition, which also runs per iteration.
+// lint:hot
+func HotHeader(reg *obs.Registry) int {
+	total := 0
+	for i := 0; i < reg.Snapshot(); i++ { // want `obs\.Registry\.Snapshot inside a loop of hot function HotHeader`
+		total += i
+	}
+	return total
+}
+
+// HotAllowed suppresses a deliberate site.
+// lint:hot
+func HotAllowed(reg *obs.Registry, rows []int) {
+	for range rows {
+		// lint:allow obshot — sampled rarely behind a guard in real code
+		reg.Counter("sampled").Inc()
+	}
+}
+
+// Cold has no marker: registry traffic in its loops is fine.
+func Cold(reg *obs.Registry, rows []int) {
+	for range rows {
+		reg.Counter("cold").Inc()
+	}
+}
+
+// HotOutside resolves before the loop, the pattern the engine uses.
+// lint:hot
+func HotOutside(reg *obs.Registry, rows []int) {
+	c := reg.Counter("discover.checks")
+	for range rows {
+		c.Inc()
+	}
+}

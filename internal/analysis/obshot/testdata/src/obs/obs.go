@@ -1,0 +1,52 @@
+// Package obs is a miniature of ocd/internal/obs for the obshot fixtures:
+// the instrument handles with their atomic hot-path methods, plus the
+// locking registry and span operations the analyzer must flag.
+package obs
+
+// Counter is an atomic counter handle.
+type Counter struct{ v int64 }
+
+// Inc adds one (single atomic add in the real package).
+func (c *Counter) Inc() {}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is an atomic gauge handle.
+type Gauge struct{ v int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {}
+
+// Histogram is a fixed-bucket histogram handle.
+type Histogram struct{ sum int64 }
+
+// Observe records v.
+func (h *Histogram) Observe(v int64) {}
+
+// Registry is the locking instrument registry.
+type Registry struct{}
+
+// Counter resolves a counter handle (takes the registry mutex).
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Snapshot copies every instrument (takes the registry mutex).
+func (r *Registry) Snapshot() int { return 0 }
+
+// Span is a trace span.
+type Span struct{}
+
+// StartChild opens a child span (lock + allocation).
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// SetAttr sets an attribute (takes the span mutex).
+func (s *Span) SetAttr(key string, v int64) {}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// NewRegistry creates a registry.
+func NewRegistry() *Registry { return &Registry{} }

@@ -38,6 +38,7 @@ import (
 
 	"ocd/internal/attr"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 	"ocd/internal/relation"
 )
 
@@ -192,6 +193,17 @@ type Snapshot struct {
 	Frontier []PairRec `json:"frontier,omitempty"`
 	// Stats are the counters at the barrier.
 	Stats Stats `json:"stats"`
+	// ElapsedNanos is the cumulative wall-clock time at the barrier,
+	// including the prior elapsed time of runs this one itself resumed
+	// from; a resumed run surfaces it as Stats.PriorElapsed. Zero in
+	// snapshots written before the field existed.
+	ElapsedNanos int64 `json:"elapsed_ns,omitempty"`
+	// Metrics is the observability registry snapshot at the barrier, when
+	// the original run carried a registry. Restoring it before re-entering
+	// the traversal makes crash + resume metrics dumps match an
+	// uninterrupted run's. Nil when the run had no registry (or the
+	// snapshot predates the field).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Complete reports whether the snapshot captures a finished traversal
@@ -378,6 +390,12 @@ func (s *Snapshot) validate() error {
 	if s.Stats.Checks < 0 || s.Stats.Candidates < 0 || s.Stats.Levels < 0 || s.Stats.MemoryReleases < 0 {
 		return fmt.Errorf("negative stats counter")
 	}
+	if s.ElapsedNanos < 0 {
+		return fmt.Errorf("negative elapsed time")
+	}
+	// Metrics needs no structural validation: obs.Registry.Restore bounds-
+	// checks histogram shapes itself, and counter values never index
+	// anything in the engine.
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"ocd/internal/obs"
 	"ocd/internal/relation"
 )
 
@@ -86,7 +87,36 @@ func randomSnapshot(rng *rand.Rand) *Snapshot {
 		Levels:         rng.Intn(20),
 		MemoryReleases: rng.Intn(3),
 	}
+	s.ElapsedNanos = rng.Int63n(1 << 50)
+	if rng.Intn(2) == 0 {
+		s.Metrics = &obs.Snapshot{
+			Counters: map[string]int64{"discover.checks": rng.Int63n(1 << 40)},
+			Gauges:   map[string]int64{"discover.level": int64(rng.Intn(10))},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"discover.check_latency_ns": {
+					Bounds: []int64{1000, 4000},
+					Counts: []int64{rng.Int63n(100), rng.Int63n(100), rng.Int63n(100)},
+					Sum:    rng.Int63n(1 << 30),
+					Count:  rng.Int63n(300),
+				},
+			},
+		}
+	}
 	return s
+}
+
+// TestValidateRejectsNegativeElapsed: hostile elapsed times never load.
+func TestValidateRejectsNegativeElapsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomSnapshot(rng)
+	s.ElapsedNanos = -1
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative elapsed decoded: %v", err)
+	}
 }
 
 // TestRoundTripProperty: Encode then Decode is the identity on randomized

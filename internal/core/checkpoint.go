@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ocd/internal/attr"
 	"ocd/internal/checkpoint"
+	"ocd/internal/obs"
 )
 
 // This file is the bridge between the BFS traversal and the durable
@@ -32,12 +34,21 @@ type barrier struct {
 	levels     int
 	memRel     int
 	checks     int64
+	// elapsedNS is the cumulative wall-clock time at the barrier,
+	// including a resumed run's prior elapsed time.
+	elapsedNS int64
+	// metrics is the registry snapshot at the barrier (nil when no
+	// registry is attached). Captured here — with no workers running —
+	// rather than at write time, so a snapshot written after a truncated
+	// level never leaks that level's partial counter increments.
+	metrics *obs.Snapshot
 }
 
 // noteBarrier records the current state as the latest consistent cut.
 // Called with the frontier that is about to be processed (or the empty
 // final frontier), after the preceding level fully completed.
 func (d *discoverer) noteBarrier(level []attr.Pair, levelNo int, res *Result) {
+	d.ro.syncTotals(d, res)
 	d.barrier = barrier{
 		valid:      true,
 		frontier:   level,
@@ -48,6 +59,8 @@ func (d *discoverer) noteBarrier(level []attr.Pair, levelNo int, res *Result) {
 		levels:     res.Stats.Levels,
 		memRel:     res.Stats.MemoryReleases,
 		checks:     d.checksBase + d.chk.Checks(),
+		elapsedNS:  int64(d.priorElapsed + time.Since(d.start)),
+		metrics:    d.ro.barrierMetrics(),
 	}
 }
 
@@ -61,6 +74,8 @@ func (d *discoverer) snapshotAtBarrier(res *Result) *checkpoint.Snapshot {
 		Reduced:                idsToInts(d.reduced),
 		Constants:              idsToInts(res.Constants),
 		NextLevel:              b.levelNo,
+		ElapsedNanos:           b.elapsedNS,
+		Metrics:                b.metrics,
 		Stats: checkpoint.Stats{
 			Checks:         b.checks,
 			Candidates:     b.candidates,
@@ -146,6 +161,17 @@ func (d *discoverer) restoreFromSnapshot(s *checkpoint.Snapshot, res *Result) ([
 	res.Stats.MemoryReleases = s.Stats.MemoryReleases
 	res.Stats.Resumed = true
 	d.generated.Store(s.Stats.Candidates)
+	// Restore the observability baseline: the original run's elapsed time
+	// and its registry counters at the barrier, so crash + resume totals
+	// (and metrics dumps) match an uninterrupted run's.
+	d.priorElapsed = time.Duration(s.ElapsedNanos)
+	res.Stats.PriorElapsed = d.priorElapsed
+	if d.ro != nil {
+		d.ro.prior = d.priorElapsed
+	}
+	if s.Metrics != nil {
+		d.opts.Metrics.Restore(*s.Metrics)
+	}
 	levelNo := s.NextLevel
 	if levelNo < 2 {
 		levelNo = 2

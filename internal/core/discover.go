@@ -13,9 +13,14 @@ import (
 	"ocd/internal/attr"
 	"ocd/internal/checkpoint"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 	"ocd/internal/order"
 	"ocd/internal/relation"
 )
+
+// Note for readers coming from the paper: observability hooks (the d.ro
+// calls below) are structurally inert — nil when Options carries no
+// registry/tracer/reporter — and never change the traversal.
 
 // Discover runs OCDDISCOVER over the relation instance and returns the
 // minimal OCDs, the ODs found during the traversal, and the reduction-phase
@@ -66,6 +71,10 @@ type checker interface {
 	// and scan loops; aborted checks conservatively report invalid and are
 	// never cached.
 	SetStopFlag(stop *atomic.Bool)
+	// SetObs attaches the backend's cache instrumentation (hit/miss
+	// counters, partition-size histogram) to a metrics registry; a nil
+	// registry resolves to no-op handles.
+	SetObs(reg *obs.Registry)
 	// ReleaseMemory drops the backend's index/partition cache, the
 	// graceful-degradation step of the soft memory budget.
 	ReleaseMemory()
@@ -91,6 +100,13 @@ type discoverer struct {
 	// checksBase is the snapshot's check counter on a resumed run, added to
 	// the live checker counter so crash + resume totals equal a fresh run.
 	checksBase int64
+	// start anchors this run's Elapsed; priorElapsed carries the original
+	// run's cumulative elapsed time restored from a snapshot.
+	start        time.Time
+	priorElapsed time.Duration
+	// ro is the run's observability state; nil when metrics, tracing and
+	// progress reporting are all disabled (every hook no-ops on nil).
+	ro *runObs
 	// fp caches the dataset fingerprint (one digest pass per run).
 	fp *checkpoint.Fingerprint
 
@@ -139,6 +155,8 @@ func newDiscoverer(r *relation.Relation, opts Options) *discoverer {
 		res:      &Result{RelationName: r.Name},
 	}
 	d.chk.SetStopFlag(&d.hardStop)
+	d.chk.SetObs(opts.Metrics)
+	d.ro = newRunObs(&opts)
 	if opts.Timeout > 0 {
 		d.deadline = time.Now().Add(opts.Timeout)
 	}
@@ -226,17 +244,18 @@ type workerOut struct {
 }
 
 func (d *discoverer) run(ctx context.Context) (*Result, error) {
-	start := time.Now()
+	d.start = time.Now()
 	res := d.res
 
 	// A resumed run must fail fast on a foreign snapshot, before any
 	// traversal side effects (watcher, reduction, checkpoint writes).
 	if d.opts.Resume != nil {
 		if err := d.verifyResume(d.opts.Resume); err != nil {
-			res.Stats.Elapsed = time.Since(start)
+			res.Stats.Elapsed = time.Since(d.start)
 			return res, err
 		}
 	}
+	d.ro.runStart(d.start, 0)
 
 	// Arm the cancellation watcher only when there is something to watch;
 	// plain Discover calls with no timeout pay nothing.
@@ -274,10 +293,16 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 		if d.opts.DisableColumnReduction {
 			d.reduced = append(d.reduced, d.universe...)
 		} else {
+			span := d.ro.phaseSpan("reduction")
 			red := columnsReductionStop(d.chk, d.universe, &d.hardStop)
 			res.Constants = red.constants
 			res.EquivClasses = red.classes
 			d.reduced = red.reduced
+			span.SetAttr("constants", int64(len(red.constants)))
+			span.SetAttr("equiv_classes", int64(len(red.classes)))
+			span.SetAttr("reduced", int64(len(red.reduced)))
+			span.SetAttr("checks", d.chk.Checks())
+			span.End()
 		}
 
 		// ---- Initial candidates: all unordered single-attribute pairs ----
@@ -320,9 +345,11 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 			break
 		}
 		faultinject.Point("core.level.start")
+		d.ro.levelStart(d, res, levelNo, len(level))
 		next, complete, lerr := d.processLevel(level, d.reduced, res)
 		res.Stats.Levels++
 		res.Stats.Candidates += int64(len(next))
+		d.ro.levelEnd(d, res, len(next))
 		if lerr != nil {
 			errs = append(errs, lerr)
 			res.truncate(TruncateWorkerPanic)
@@ -369,8 +396,9 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 	d.writeCheckpoint(res)
 
 	res.Stats.Checks = d.checksBase + d.chk.Checks()
-	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Elapsed = time.Since(d.start)
 	sortResult(res)
+	d.ro.runEnd(d, res)
 
 	err := errors.Join(errs...)
 	if ctxErr := ctx.Err(); ctxErr != nil && err == nil {
@@ -389,14 +417,18 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 func (d *discoverer) processLevel(level []attr.Pair, reduced []attr.ID, res *Result) ([]attr.Pair, bool, error) {
 	outs := make([]workerOut, d.workers)
 	if d.workers == 1 {
+		sp, t0 := d.ro.workerStart(0)
 		d.runWorker(level, 0, 1, reduced, &outs[0])
+		d.ro.workerEnd(sp, t0, &outs[0])
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < d.workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				sp, t0 := d.ro.workerStart(w)
 				d.runWorker(level, w, d.workers, reduced, &outs[w])
+				d.ro.workerEnd(sp, t0, &outs[w])
 			}(w)
 		}
 		wg.Wait()
@@ -462,6 +494,7 @@ func (d *discoverer) processRange(level []attr.Pair, from, stride int, reduced [
 		before := len(out.next)
 		d.processCandidate(level[i], reduced, out)
 		d.generated.Add(int64(len(out.next) - before))
+		d.ro.candidateDone(d)
 	}
 }
 
@@ -469,10 +502,14 @@ func (d *discoverer) processRange(level []attr.Pair, from, stride int, reduced [
 // plus generateNextLevel (Algorithm 3).
 func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *workerOut) {
 	// Single check of Theorem 4.1: X ~ Y iff the OD XY → YX holds.
-	if !d.chk.CheckOCD(p.X, p.Y) {
+	t0 := d.ro.checkStart()
+	ok := d.chk.CheckOCD(p.X, p.Y)
+	d.ro.checkDone(t0)
+	if !ok {
 		// Invalid candidate: Theorem 3.7 prunes the whole subtree. (A
 		// hard-stopped check also lands here: conservatively invalid, so a
 		// partially checked candidate is never emitted.)
+		d.ro.prune()
 		return
 	}
 	out.ocds = append(out.ocds, OCD{X: p.X, Y: p.Y})
@@ -490,7 +527,10 @@ func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *worke
 	// holds, XA ~ Y is derivable (X → Y gives XA → Y by Reflexivity +
 	// Transitivity, and an OD implies the OCD), so the subtree is
 	// redundant and the OD itself is emitted instead.
-	if d.chk.CheckOD(p.X, p.Y) {
+	t0 = d.ro.checkStart()
+	odXY := d.chk.CheckOD(p.X, p.Y)
+	d.ro.checkDone(t0)
+	if odXY {
 		out.ods = append(out.ods, OD{X: p.X, Y: p.Y})
 	} else if !d.hardStop.Load() {
 		for _, a := range free {
@@ -499,7 +539,10 @@ func (d *discoverer) processCandidate(p attr.Pair, reduced []attr.ID, out *worke
 	}
 
 	// Right side, symmetric.
-	if d.chk.CheckOD(p.Y, p.X) {
+	t0 = d.ro.checkStart()
+	odYX := d.chk.CheckOD(p.Y, p.X)
+	d.ro.checkDone(t0)
+	if odYX {
 		out.ods = append(out.ods, OD{X: p.Y, Y: p.X})
 	} else if !d.hardStop.Load() {
 		for _, a := range free {

@@ -26,6 +26,7 @@ import (
 
 	"ocd/internal/attr"
 	"ocd/internal/checkpoint"
+	"ocd/internal/obs"
 )
 
 // OCD is an order compatibility dependency X ~ Y: sorting by XY also sorts
@@ -109,6 +110,27 @@ type Options struct {
 	// Columns/DisableColumnReduction so a resumed run reproduces the
 	// original run's remaining work exactly.
 	Resume *checkpoint.Snapshot
+	// Metrics, when non-nil, receives live run instrumentation: counters,
+	// gauges and histograms under the names documented in
+	// docs/OBSERVABILITY.md. Snapshots of the registry are safe at any
+	// time during the run; on a checkpointed run the registry state is
+	// persisted at level barriers and restored on Resume, so crash +
+	// resume counter totals equal an uninterrupted run's. Nil disables
+	// metrics at zero cost on the check path.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent span under which the run records
+	// its phase hierarchy: discover → reduction → each level → per-worker
+	// check batches. Typically a Tracer's root span, alongside the parse
+	// and rank-encode spans recorded at load time. Nil disables tracing.
+	Trace *obs.Span
+	// Reporter, when non-nil, receives live progress samples at level
+	// barriers and every ReportEvery checks (from whichever worker
+	// crosses the threshold — implementations must be concurrency-safe),
+	// plus one final sample. Nil disables progress reporting.
+	Reporter obs.Reporter
+	// ReportEvery is the check cadence of mid-level progress reports;
+	// values < 1 select the default (10000 checks).
+	ReportEvery int64
 }
 
 const defaultIndexCacheSize = 64
@@ -194,8 +216,14 @@ type Stats struct {
 	// Resumed marks a run restarted from a snapshot; Checks, Candidates,
 	// Levels and MemoryReleases then include the original run's counters
 	// up to the snapshot barrier, so the totals of crash + resume equal an
-	// uninterrupted run. Elapsed covers only the resumed run.
+	// uninterrupted run. Elapsed covers only the resumed run; the original
+	// run's wall-clock time is in PriorElapsed.
 	Resumed bool
+	// PriorElapsed is the cumulative wall-clock time of the earlier run(s)
+	// up to the snapshot barrier this run resumed from; zero on fresh
+	// runs. Elapsed+PriorElapsed is the total cost of the whole
+	// (interrupted) discovery.
+	PriorElapsed time.Duration
 }
 
 // Result is the output of a discovery run.

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The registry's hot-path contract: an enabled increment is one atomic
+// add, a disabled (nil-handle) increment is a nil check. Both must show
+// 0 allocs/op here; the per-check overhead budget in ISSUE 5 rides on
+// these staying flat.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("x", ExpBounds(1000, 4, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xfffff))
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	r := NewRegistry()
+	g := r.Gauge("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(string(rune('a' + i))).Add(int64(i))
+		r.Histogram("h"+string(rune('a'+i)), ExpBounds(1, 2, 16)).Observe(int64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

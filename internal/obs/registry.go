@@ -1,0 +1,360 @@
+// Package obs is the zero-dependency observability layer of the
+// discovery engine: a lock-light metrics registry (counters, gauges,
+// fixed-bucket histograms), a hierarchical phase/span tracer with JSON
+// and Chrome trace_event export, a live progress Reporter, and a
+// pprof/expvar debug server.
+//
+// The package is built around two rules:
+//
+//  1. Hot-path operations touch only pre-resolved handles. Registering
+//     or looking up an instrument (Registry.Counter, Registry.Histogram)
+//     takes the registry mutex; incrementing one (Counter.Inc,
+//     Histogram.Observe) is a plain atomic add with no lock, no map
+//     access, and no allocation. The ocdlint obshot analyzer enforces
+//     this split inside // lint:hot functions.
+//
+//  2. Everything is nil-safe. A nil *Registry hands out nil handles and
+//     every handle method no-ops on a nil receiver, so instrumented code
+//     needs no "is observability on?" branches and pays nothing — no
+//     allocation, no atomic — when it is off (pinned by
+//     TestDisabledHooksDoNotAllocate).
+//
+// Snapshot is safe to call at any time during a run; it reads each
+// instrument atomically (the snapshot is per-instrument consistent, not
+// a cross-instrument fence, which is exactly what progress reporting
+// needs). Restore pre-loads a registry from a snapshot, which is how a
+// resumed discovery run continues its counters from the checkpoint so
+// crash + resume totals equal an uninterrupted run.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store sets the counter to an absolute cumulative value. It exists for
+// mirroring externally tracked totals (e.g. the checker's own check
+// counter) into the registry at sync points, and for Restore.
+func (c *Counter) Store(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (current level, frontier
+// size). The zero value is ready; methods no-op on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations.
+// Bounds are inclusive upper bounds; an observation lands in the first
+// bucket whose bound is >= the value, or in the implicit overflow
+// bucket past the last bound. Observe is lock-free: a hand-rolled
+// binary search over the immutable bounds plus three atomic adds.
+type Histogram struct {
+	bounds []int64        // immutable after construction, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search without sort.Search: no closure, no allocation.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observations; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot reads the histogram's state atomically per field.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable; shared, never mutated
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// ExpBounds returns n ascending bucket bounds starting at start and
+// growing by factor: the standard latency-histogram shape. start must
+// be >= 1 and factor >= 2 for the bounds to be strictly increasing.
+func ExpBounds(start, factor int64, n int) []int64 {
+	bounds := make([]int64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		bounds = append(bounds, v)
+		v *= factor
+	}
+	return bounds
+}
+
+// HistogramSnapshot is the exported state of one histogram. Counts has
+// one entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time export of a registry: every counter,
+// gauge and histogram by name. It is the payload of -metrics-out dumps,
+// the expvar publication, and the checkpoint metrics record.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry names and owns instruments. Instrument registration and
+// Snapshot take an internal mutex; the returned handles never do.
+// A nil *Registry is valid and hands out nil (no-op) handles, so
+// callers thread an optional registry without branching.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Nil receiver returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use. Nil receiver returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds on first use (bounds must be ascending; later
+// calls reuse the existing buckets and ignore the argument). Nil
+// receiver returns a nil (no-op) handle.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// Snapshot exports the registry's current state. Safe to call at any
+// time, including while other goroutines increment instruments: each
+// value is read atomically. Nil receiver returns the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Restore pre-loads the registry from a snapshot: counters and gauges
+// are stored at their recorded values, histogram bucket counts are
+// restored when the bucket bounds match exactly (and skipped — left
+// fresh — otherwise, so a bounds change between versions degrades
+// gracefully instead of corrupting buckets). This is the resume path:
+// a checkpointed run restores the registry before re-entering the
+// traversal, so live increments continue from the barrier totals.
+func (r *Registry) Restore(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		if len(h.bounds) != len(hs.Bounds) || len(h.counts) != len(hs.Counts) {
+			continue
+		}
+		match := true
+		for i, b := range h.bounds {
+			if b != hs.Bounds[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for i, c := range hs.Counts {
+			h.counts[i].Store(c)
+		}
+		h.sum.Store(hs.Sum)
+		h.n.Store(hs.Count)
+	}
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Names returns the sorted instrument names, for stable test output and
+// documentation tooling.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

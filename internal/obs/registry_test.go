@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("discover.checks")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("discover.checks"); same != c {
+		t.Fatal("Counter did not return the same handle for the same name")
+	}
+	g := r.Gauge("discover.level")
+	g.Set(3)
+	g.Add(1)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	c.Store(42)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("after Store, counter = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []int64{2, 2, 0, 1} // <=10: {1,10}; <=100: {11,100}; <=1000: {}; overflow: {5000}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 1+10+11+100+5000 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(1000, 4, 5)
+	want := []int64{1000, 4000, 16000, 64000, 256000}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1})
+	c.Inc()
+	c.Add(7)
+	c.Store(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.Restore(Snapshot{Counters: map[string]int64{"x": 1}})
+	if r.Names() != nil {
+		t.Fatal("nil registry Names must be nil")
+	}
+}
+
+// TestDisabledHooksDoNotAllocate pins the "observability off costs
+// nothing" contract: every hot-path hook on a nil handle performs zero
+// allocations.
+func TestDisabledHooksDoNotAllocate(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y", ExpBounds(1, 2, 8))
+	g := r.Gauge("z")
+	var s *Span
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(17)
+		child := s.StartChild("nope")
+		child.SetAttr("k", 1)
+		child.End()
+	}); n != 0 {
+		t.Fatalf("disabled hooks allocated %v times per run, want 0", n)
+	}
+}
+
+// TestEnabledHotHooksDoNotAllocate pins the other half: enabled
+// counter/histogram updates are pure atomic ops, no allocation.
+func TestEnabledHotHooksDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("y", ExpBounds(1, 2, 8))
+	g := r.Gauge("z")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("enabled hot hooks allocated %v times per run, want 0", n)
+	}
+}
+
+// TestConcurrentSnapshot hammers one registry from many goroutines while
+// snapshots are taken mid-run. Run under -race (scripts/check.sh does),
+// this is the concurrency contract test for the registry. When
+// OBS_METRICS_DUMP is set, the final snapshot is written there — CI
+// uploads it as the race-run metrics artifact.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("checks")
+			h := r.Histogram("latency", ExpBounds(1, 2, 10))
+			g := r.Gauge("level")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i % 1500))
+				g.Set(int64(i))
+				// Interleave registration with updates: handles may be
+				// resolved while other goroutines increment.
+				if i%500 == 0 {
+					r.Counter("checks").Add(0)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s := r.Snapshot()
+				if s.Counters["checks"] < 0 {
+					panic("impossible")
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	s := r.Snapshot()
+	if got := s.Counters["checks"]; got != workers*perWorker {
+		t.Fatalf("checks = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Histograms["latency"].Count; got != workers*perWorker {
+		t.Fatalf("latency count = %d, want %d", got, workers*perWorker)
+	}
+	if path := os.Getenv("OBS_METRICS_DUMP"); path != "" {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("dump metrics: %v", err)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTripAndRestore(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Gauge("b").Set(-3)
+	h := r.Histogram("c", []int64{5, 50})
+	h.Observe(3)
+	h.Observe(77)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+
+	fresh := NewRegistry()
+	fresh.Restore(s)
+	got := fresh.Snapshot()
+	if got.Counters["a"] != 10 || got.Gauges["b"] != -3 {
+		t.Fatalf("restored counters/gauges wrong: %+v", got)
+	}
+	hs := got.Histograms["c"]
+	if hs.Count != 2 || hs.Sum != 80 || hs.Counts[0] != 1 || hs.Counts[2] != 1 {
+		t.Fatalf("restored histogram wrong: %+v", hs)
+	}
+
+	// Bounds mismatch: restore must leave the existing histogram alone.
+	clash := NewRegistry()
+	clash.Histogram("c", []int64{1, 2, 3}).Observe(2)
+	clash.Restore(s)
+	cs := clash.Snapshot().Histograms["c"]
+	if cs.Count != 1 {
+		t.Fatalf("bounds-mismatched restore corrupted histogram: %+v", cs)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c", nil)
+	got := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}

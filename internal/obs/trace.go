@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans over one run: parse →
+// rank-encode → reduction → each BFS level → per-worker check batches.
+// Span timestamps are monotonic nanoseconds since the tracer's epoch,
+// so the tree is immune to wall-clock jumps.
+//
+// Like the registry, the tracer is nil-safe end to end: a nil *Tracer
+// has a nil root, StartChild on a nil *Span returns nil, and every
+// span method no-ops on nil — instrumented code carries no
+// "is tracing on?" branches.
+//
+// Concurrency: spans may be started and ended from different
+// goroutines (worker batch spans under one level span); each span
+// guards its own children and attributes with a mutex. Span creation
+// allocates, so it belongs at phase/batch granularity, never per row
+// or per check — the obshot lint enforces this inside lint:hot code.
+type Tracer struct {
+	epoch time.Time
+	root  *Span
+}
+
+// NewTracer starts a trace whose root span has the given name. The
+// root is running until Finish (or Root().End()) is called.
+func NewTracer(name string) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.root = &Span{tracer: t, name: name}
+	return t
+}
+
+// Root returns the root span; nil on a nil tracer.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (if still running). Call it once the run
+// is over, before exporting.
+func (t *Tracer) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// now returns monotonic nanoseconds since the tracer epoch.
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Attr is one key/value annotation on a span (checks performed, prunes,
+// frontier size). Values are int64 — counts and nanoseconds — which
+// keeps spans allocation-cheap and the exports schema-stable.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Span is one timed phase. End at most once; attribute and child
+// operations are safe from multiple goroutines.
+type Span struct {
+	tracer *Tracer
+	name   string
+	lane   int // Chrome trace tid; children inherit it by default
+
+	mu       sync.Mutex
+	startNS  int64
+	endNS    int64 // 0 while running
+	attrs    []Attr
+	children []*Span
+}
+
+// StartChild starts a sub-span on the same lane. Nil-safe: a nil
+// receiver returns nil, so a whole instrumentation chain vanishes when
+// tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.startChild(name, s.lane)
+}
+
+// StartChildLane starts a sub-span on an explicit lane. Lanes map to
+// Chrome trace tids, so spans that overlap in time (parallel worker
+// batches) render side by side instead of as a bogus stack.
+func (s *Span) StartChildLane(name string, lane int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.startChild(name, lane)
+}
+
+func (s *Span) startChild(name string, lane int) *Span {
+	child := &Span{
+		tracer:  s.tracer,
+		name:    name,
+		lane:    lane,
+		startNS: s.tracer.now(),
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stops the span's clock. Second and later calls are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.endNS == 0 {
+		s.endNS = s.tracer.now()
+		if s.endNS == 0 {
+			s.endNS = 1 // a zero end means "running"; clamp instant spans
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches (or overwrites) an int64 annotation.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
+// SpanNode is the exported form of a span: the JSON trace tree. Times
+// are nanoseconds relative to the trace start.
+type SpanNode struct {
+	Name     string           `json:"name"`
+	StartNS  int64            `json:"start_ns"`
+	DurNS    int64            `json:"dur_ns"`
+	Lane     int              `json:"lane,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []*SpanNode      `json:"children,omitempty"`
+}
+
+// Tree exports the span hierarchy. Spans still running are closed "as
+// of now" in the export (the live tree stays untouched), so Tree is
+// safe to call mid-run for debugging endpoints. Nil tracer → nil.
+func (t *Tracer) Tree() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	return t.root.export(t.now())
+}
+
+func (s *Span) export(nowNS int64) *SpanNode {
+	s.mu.Lock()
+	node := &SpanNode{
+		Name:    s.name,
+		StartNS: s.startNS,
+		Lane:    s.lane,
+	}
+	end := s.endNS
+	if end == 0 {
+		end = nowNS
+	}
+	node.DurNS = end - s.startNS
+	if node.DurNS < 0 {
+		node.DurNS = 0
+	}
+	if len(s.attrs) > 0 {
+		node.Attrs = make(map[string]int64, len(s.attrs))
+		for _, a := range s.attrs {
+			node.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		node.Children = append(node.Children, c.export(nowNS))
+	}
+	return node
+}
+
+// WriteTree writes the span hierarchy as indented JSON.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Tree())
+}
+
+// chromeEvent is one Chrome trace_event record: a complete ("X") slice
+// with microsecond timestamps, loadable by about:tracing and Perfetto.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`  // microseconds
+	Dur  float64          `json:"dur"` // microseconds
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event format
+// (JSON-object flavour). Lanes become thread ids, so parallel worker
+// batches appear as parallel tracks under one process.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	collectChrome(t.Tree(), &events)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func collectChrome(n *SpanNode, out *[]chromeEvent) {
+	if n == nil {
+		return
+	}
+	*out = append(*out, chromeEvent{
+		Name: n.Name,
+		Ph:   "X",
+		TS:   float64(n.StartNS) / 1e3,
+		Dur:  float64(n.DurNS) / 1e3,
+		PID:  1,
+		TID:  n.Lane + 1, // lane 0 (the phase spine) renders as tid 1
+		Args: n.Attrs,
+	})
+	for _, c := range n.Children {
+		collectChrome(c, out)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTracer("discover")
+	parse := tr.Root().StartChild("parse")
+	parse.SetAttr("rows", 100)
+	parse.End()
+	level := tr.Root().StartChild("level 2")
+	b0 := level.StartChildLane("worker 0", 1)
+	b0.SetAttr("checks", 40)
+	b0.End()
+	b1 := level.StartChildLane("worker 1", 2)
+	b1.SetAttr("checks", 41)
+	b1.SetAttr("checks", 42) // overwrite
+	b1.End()
+	level.End()
+	tr.Finish()
+
+	root := tr.Tree()
+	if root == nil || root.Name != "discover" {
+		t.Fatalf("root = %+v", root)
+	}
+	if root.DurNS <= 0 {
+		t.Fatalf("finished root has DurNS %d", root.DurNS)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	if root.Children[0].Name != "parse" || root.Children[0].Attrs["rows"] != 100 {
+		t.Fatalf("parse span = %+v", root.Children[0])
+	}
+	lv := root.Children[1]
+	if len(lv.Children) != 2 {
+		t.Fatalf("level children = %d, want 2", len(lv.Children))
+	}
+	if lv.Children[1].Attrs["checks"] != 42 {
+		t.Fatalf("SetAttr overwrite failed: %+v", lv.Children[1].Attrs)
+	}
+	if lv.Children[0].Lane != 1 || lv.Children[1].Lane != 2 {
+		t.Fatalf("lanes = %d, %d", lv.Children[0].Lane, lv.Children[1].Lane)
+	}
+}
+
+func TestTreeMidRunIsNonDestructive(t *testing.T) {
+	tr := NewTracer("run")
+	child := tr.Root().StartChild("phase")
+	n1 := tr.Tree()
+	if n1.Children[0].DurNS <= 0 {
+		t.Fatal("running span should export a positive as-of-now duration")
+	}
+	child.End()
+	tr.Finish()
+	n2 := tr.Tree()
+	if n2.Children[0].DurNS < n1.Children[0].DurNS {
+		t.Fatal("duration went backwards after End")
+	}
+}
+
+func TestNilTracerChain(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root()
+	child := root.StartChild("x").StartChildLane("y", 3)
+	child.SetAttr("k", 1)
+	child.End()
+	tr.Finish()
+	if tr.Tree() != nil {
+		t.Fatal("nil tracer Tree must be nil")
+	}
+}
+
+func TestWriteTreeJSON(t *testing.T) {
+	tr := NewTracer("run")
+	tr.Root().StartChild("a").End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	var node SpanNode
+	if err := json.Unmarshal(buf.Bytes(), &node); err != nil {
+		t.Fatalf("tree JSON does not parse: %v", err)
+	}
+	if node.Name != "run" || len(node.Children) != 1 {
+		t.Fatalf("decoded tree = %+v", node)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer("run")
+	p := tr.Root().StartChild("parse")
+	p.SetAttr("rows", 7)
+	p.End()
+	w := tr.Root().StartChildLane("worker 3", 4)
+	w.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			PID  int              `json:"pid"`
+			TID  int              `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(decoded.TraceEvents))
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != 1 || ev.TID < 1 {
+			t.Fatalf("event %q has pid/tid %d/%d", ev.Name, ev.PID, ev.TID)
+		}
+		if ev.Dur < 0 || ev.TS < 0 {
+			t.Fatalf("event %q has negative ts/dur", ev.Name)
+		}
+	}
+	// Lane 4 renders as tid 5.
+	found := false
+	for _, ev := range decoded.TraceEvents {
+		if ev.Name == "worker 3" && ev.TID == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lane 4 span did not map to tid 5")
+	}
+}
+
+// TestConcurrentSpans starts and ends sibling spans from many
+// goroutines while exporting mid-run; run under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer("run")
+	level := tr.Root().StartChild("level")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := level.StartChildLane("batch", lane)
+				s.SetAttr("i", int64(i))
+				s.End()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Tree()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	level.End()
+	tr.Finish()
+	if got := len(tr.Tree().Children[0].Children); got != 8*200 {
+		t.Fatalf("batch spans = %d, want %d", got, 8*200)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"ocd/internal/attr"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 	"ocd/internal/relation"
 )
 
@@ -112,6 +113,11 @@ type Checker struct {
 	// invalid, and nothing partial is ever cached. Armed by the discovery
 	// engine's context watcher.
 	stop *atomic.Bool
+
+	// obsHits/obsMisses are pre-resolved cache instrumentation handles;
+	// nil (no-op) unless SetObs attached a registry.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
 }
 
 // NewChecker returns a Checker over r whose index cache holds at most
@@ -132,6 +138,14 @@ func (c *Checker) Relation() *relation.Relation { return c.r }
 // invalid (callers observing the flag must discard, not trust, aborted
 // answers). Not safe to call concurrently with checks.
 func (c *Checker) SetStopFlag(stop *atomic.Bool) { c.stop = stop }
+
+// SetObs attaches index-cache hit/miss counters from the registry (a nil
+// registry resolves to no-op handles). Not safe to call concurrently
+// with checks.
+func (c *Checker) SetObs(reg *obs.Registry) {
+	c.obsHits = reg.Counter("order.index_cache.hits")
+	c.obsMisses = reg.Counter("order.index_cache.misses")
+}
 
 // stopped reports whether a cooperative stop has been requested.
 func (c *Checker) stopped() bool { return c.stop != nil && c.stop.Load() }
@@ -169,10 +183,12 @@ func (c *Checker) SortedIndex(x attr.List) []int32 {
 		c.mu.Lock()
 		if idx, ok := c.cache[key]; ok {
 			c.mu.Unlock()
+			c.obsHits.Inc()
 			return idx
 		}
 		c.mu.Unlock()
 	}
+	c.obsMisses.Inc()
 	idx, ok := c.buildIndex(x)
 	if !ok {
 		return nil

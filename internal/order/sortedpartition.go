@@ -6,6 +6,7 @@ import (
 
 	"ocd/internal/attr"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 	"ocd/internal/relation"
 )
 
@@ -158,6 +159,12 @@ type PartitionChecker struct {
 	// partitions are never cached. Armed by the discovery engine's context
 	// watcher.
 	stop *atomic.Bool
+
+	// obsHits/obsMisses/obsClasses are pre-resolved instrumentation
+	// handles; nil (no-op) unless SetObs attached a registry.
+	obsHits    *obs.Counter
+	obsMisses  *obs.Counter
+	obsClasses *obs.Histogram
 }
 
 // NewPartitionChecker returns a checker whose cache holds at most cacheCap
@@ -176,6 +183,15 @@ func NewPartitionChecker(r *relation.Relation, cacheCap int) *PartitionChecker {
 // invalid (callers observing the flag must discard, not trust, aborted
 // answers). Not safe to call concurrently with checks.
 func (c *PartitionChecker) SetStopFlag(stop *atomic.Bool) { c.stop = stop }
+
+// SetObs attaches partition-cache hit/miss counters and the
+// classes-per-partition histogram from the registry (a nil registry
+// resolves to no-op handles). Not safe to call concurrently with checks.
+func (c *PartitionChecker) SetObs(reg *obs.Registry) {
+	c.obsHits = reg.Counter("order.partition_cache.hits")
+	c.obsMisses = reg.Counter("order.partition_cache.misses")
+	c.obsClasses = reg.Histogram("order.partition.classes", obs.ExpBounds(1, 4, 16))
+}
 
 // stopped reports whether a cooperative stop has been requested.
 func (c *PartitionChecker) stopped() bool { return c.stop != nil && c.stop.Load() }
@@ -201,9 +217,11 @@ func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
 	c.mu.Lock()
 	if sp, ok := c.cache[key]; ok {
 		c.mu.Unlock()
+		c.obsHits.Inc()
 		return sp
 	}
 	c.mu.Unlock()
+	c.obsMisses.Inc()
 	// longest cached proper prefix
 	var sp *SortedPartition
 	depth := 0
@@ -226,6 +244,7 @@ func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
 		sp = next
 		c.put(x[:depth+1].Key(), sp)
 	}
+	c.obsClasses.Observe(int64(sp.NumClasses()))
 	return sp
 }
 

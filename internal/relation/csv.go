@@ -22,12 +22,15 @@ type CSVOptions struct {
 
 // ReadCSV parses CSV data into a relation.
 func ReadCSV(src io.Reader, name string, opts CSVOptions) (*Relation, error) {
+	span := opts.Trace.StartChild("parse")
 	cr := csv.NewReader(src)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
 	cr.FieldsPerRecord = -1 // validated below with a clearer error
 	records, err := cr.ReadAll()
+	span.SetAttr("records", int64(len(records)))
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("read csv %s: %w", name, err)
 	}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"ocd/internal/attr"
+	"ocd/internal/obs"
 )
 
 // Kind is the inferred type of a column.
@@ -60,6 +61,10 @@ type Options struct {
 	// default set {"", "NULL", "null", "?"} is used ("?" is the missing-
 	// value marker of the UCI datasets HEPATITIS and HORSE).
 	NullTokens []string
+	// Trace, when non-nil, is the parent span under which loading records
+	// its "parse" (CSV read) and "rank-encode" (type inference + encoding)
+	// phase spans. Nil disables tracing.
+	Trace *obs.Span
 }
 
 func (o Options) nullSet() map[string]bool {
@@ -167,6 +172,10 @@ func (r *Relation) ColIndex(name string) (attr.ID, bool) {
 // type for each column (unless opts.ForceString) and rank-encoding it.
 // Every row must have exactly len(colNames) fields.
 func FromStrings(name string, colNames []string, rows [][]string, opts Options) (*Relation, error) {
+	span := opts.Trace.StartChild("rank-encode")
+	defer span.End()
+	span.SetAttr("rows", int64(len(rows)))
+	span.SetAttr("cols", int64(len(colNames)))
 	nc := len(colNames)
 	for i, row := range rows {
 		if len(row) != nc {

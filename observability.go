@@ -1,0 +1,62 @@
+package ocd
+
+import (
+	"io"
+	"time"
+
+	"ocd/internal/obs"
+)
+
+// The observability surface re-exports the internal/obs types so callers can
+// instrument discovery without importing internal packages. All of it is
+// opt-in and nil-safe: a run with no Metrics, Trace or Reporter configured
+// pays nothing.
+
+// Metrics is a lock-light registry of counters, gauges and histograms.
+// Create one with NewMetrics, pass it via Options.Metrics, and read it with
+// Snapshot or WriteJSON at any time — including while a run is in flight.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer records a tree of timed spans for one run. Create one with
+// NewTracer, pass its Root via Options.Trace, call Finish after the run, then
+// export with WriteTree (JSON tree) or WriteChromeTrace (chrome://tracing /
+// Perfetto format).
+type Tracer = obs.Tracer
+
+// Span is a node in a trace; Options.Trace takes the parent span under which
+// the engine opens its "discover" span.
+type Span = obs.Span
+
+// Progress is one live progress sample emitted during discovery.
+type Progress = obs.Progress
+
+// Reporter consumes Progress samples; see Options.Reporter.
+type Reporter = obs.Reporter
+
+// ReporterFunc adapts a function to the Reporter interface.
+type ReporterFunc = obs.ReporterFunc
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer creates a tracer whose root span has the given name.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
+
+// NewProgressWriter returns a Reporter that renders rate-limited,
+// line-overwriting progress to w (typically os.Stderr) — what the
+// ocddiscover -progress flag uses. minInterval throttles redraws (0 means
+// every sample); ~100ms works well on a terminal.
+func NewProgressWriter(w io.Writer, minInterval time.Duration) Reporter {
+	return obs.NewProgressWriter(w, minInterval)
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof/*,
+// /debug/vars (expvar, including the registry under "ocd.metrics") and
+// /metrics (the registry as JSON). It returns the bound address (useful with
+// ":0") and a stop function. Pass reg == nil to serve only pprof.
+func ServeDebug(addr string, reg *Metrics) (string, func(), error) {
+	return obs.ServeDebug(addr, reg)
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark-trajectory harness.
+#
+# Runs the tracked benchmark set, converts the output into a trajectory
+# snapshot named BENCH_<date>.json (schema ocd-bench/v1, see cmd/benchjson),
+# and compares it against the most recent committed BENCH_*.json baseline.
+# Benchmarks more than THRESHOLD slower than the baseline are flagged and
+# the script exits 3, so perf regressions show up in review instead of
+# accumulating silently. Committing the new snapshot advances the baseline.
+#
+# Usage:
+#   scripts/bench.sh              full run: emit BENCH_<date>.json + compare
+#   scripts/bench.sh --smoke      one-iteration sanity pass (CI): benchmarks
+#                                 run once, output must parse; no file kept
+#
+#   BENCH_SET='BenchmarkPhase_'   override the tracked benchmark regex
+#   BENCHTIME=2s COUNT=5          more samples for a quieter trajectory
+#   THRESHOLD=0.10                relative slowdown that counts as regression
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_SET="${BENCH_SET:-BenchmarkObsOverhead|BenchmarkPhase_|BenchmarkProgressFormat|BenchmarkDatasetTaxinfo|BenchmarkAblation_CheckPrimitives}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-3}"
+THRESHOLD="${THRESHOLD:-0.10}"
+
+if [ "${1:-}" = "--smoke" ]; then
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    go test . -run '^$' -bench "$BENCH_SET" -benchmem -benchtime=1x -count=1 > "$tmp"
+    go run ./cmd/benchjson -emit < "$tmp" > /dev/null
+    echo "bench smoke ok ($(grep -c '^Benchmark' "$tmp") benchmarks ran and parsed)"
+    exit 0
+fi
+
+out="BENCH_$(date +%F).json"
+prev="$(ls BENCH_*.json 2>/dev/null | grep -vx "$out" | sort | tail -1 || true)"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+echo "running benchmark set: $BENCH_SET (benchtime=$BENCHTIME, count=$COUNT)"
+go test . -run '^$' -bench "$BENCH_SET" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" | tee "$raw"
+go run ./cmd/benchjson -emit -out "$out" < "$raw"
+echo "wrote $out"
+
+if [ -n "$prev" ]; then
+    echo "comparing against baseline $prev (threshold $THRESHOLD)"
+    go run ./cmd/benchjson -compare -threshold "$THRESHOLD" "$prev" "$out"
+else
+    echo "no prior BENCH_*.json baseline; $out is the first trajectory point"
+fi

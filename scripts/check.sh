@@ -6,9 +6,9 @@
 #   2. go vet ./...              stdlib static checks
 #   3. ocdlint                   the repo's own go/analysis suite
 #                                (nopanic, atomicfield, listalias,
-#                                hotloopalloc, lockbalance, wgcheck,
-#                                errdrop; see docs/LINTING.md), plus a
-#                                -json smoke so the CI annotation
+#                                hotloopalloc, obshot, lockbalance,
+#                                wgcheck, errdrop; see docs/LINTING.md),
+#                                plus a -json smoke so the CI annotation
 #                                pipeline can trust the output format
 #   4. go test -race ./...       unit + integration tests under the
 #                                race detector (the parallel traversal
@@ -24,7 +24,12 @@
 #                                mid-snapshot-rename, resumes from the
 #                                checkpoint, and diffs the output against
 #                                an uninterrupted run
-#   7. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
+#   7. bench smoke               scripts/bench.sh --smoke runs every
+#                                tracked benchmark once and requires the
+#                                output to parse into the trajectory
+#                                format (cmd/benchjson); full trajectory
+#                                runs stay manual (make bench)
+#   8. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
 #                                FuzzCheckpointDecode for FUZZTIME each
 #                                (default 10s)
 #
@@ -63,6 +68,9 @@ go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
 step "chaos: kill-and-resume differential (scripts/resume_chaos.sh)"
 scripts/resume_chaos.sh
+
+step "bench smoke (scripts/bench.sh --smoke)"
+scripts/bench.sh --smoke
 
 if [ "$FUZZTIME" != "0" ]; then
     for target in FuzzCSVParse FuzzRankEncode; do

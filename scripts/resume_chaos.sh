@@ -11,7 +11,11 @@
 #      or the previous intact one — never a torn file;
 #   3. a resume against modified input data is refused, fast;
 #   4. a truncated checkpointed run prints the snapshot path and an exact
-#      resume command, in both text and JSON output.
+#      resume command, in both text and JSON output;
+#   5. the metrics registry survives the crash: a crash+resume run's
+#      deterministic counters (checks, candidates, levels, ocds, ods,
+#      prunes) equal an uninterrupted run's (cache hit/miss counters
+#      legitimately differ — the resumed run starts with cold caches).
 #
 # Usage: scripts/resume_chaos.sh
 set -euo pipefail
@@ -38,23 +42,30 @@ csv="$tmp/tax.csv"
 # else (dependencies, reductions, checks, candidates, truncation) must be
 # byte-identical between a fresh run and a crash+resume run.
 strip_volatile() {
-    grep -vE '"(elapsed_ms|resumed|checkpoints|checkpoint_path|checkpoint_error|resume_command)":' "$1" |
+    grep -vE '"(elapsed_ms|prior_elapsed_ms|resumed|checkpoints|checkpoint_path|checkpoint_error|resume_command)":' "$1" |
         sed 's/,$//' # dropping a final field leaves a dangling comma upstream
 }
 
 step "baseline: uninterrupted run"
-"$tmp/ocddiscover" -input "$csv" -json >"$tmp/fresh.json"
+"$tmp/ocddiscover" -input "$csv" -json -metrics-out "$tmp/fresh_metrics.json" >"$tmp/fresh.json"
 
 step "kill mid-level 3 (OCD_FAULT=core.level.start:exit:3), then resume"
 status=0
 OCD_FAULT="core.level.start:exit:3" \
-    "$tmp/ocddiscover" -input "$csv" -checkpoint "$tmp/run.ckpt" -json \
+    "$tmp/ocddiscover" -input "$csv" -checkpoint "$tmp/run.ckpt" -metrics-out "$tmp/never.json" -json \
     >/dev/null 2>"$tmp/crash.err" || status=$?
 [ "$status" -eq "$FAULT_EXIT" ] || fail "expected exit $FAULT_EXIT from the injected kill, got $status"
 [ -s "$tmp/run.ckpt" ] || fail "crashed run left no snapshot at run.ckpt"
-"$tmp/ocddiscover" -input "$csv" -resume "$tmp/run.ckpt" -json >"$tmp/resumed.json"
+"$tmp/ocddiscover" -input "$csv" -resume "$tmp/run.ckpt" -metrics-out "$tmp/resumed_metrics.json" -json \
+    >"$tmp/resumed.json"
 diff <(strip_volatile "$tmp/fresh.json") <(strip_volatile "$tmp/resumed.json") \
     || fail "resumed output differs from the uninterrupted run"
+
+step "metrics continuity: crash+resume counters equal the uninterrupted run's"
+go run ./cmd/benchjson -metrics-diff \
+    -keys discover.checks,discover.candidates,discover.levels,discover.ocds,discover.ods,discover.prunes \
+    "$tmp/fresh_metrics.json" "$tmp/resumed_metrics.json" \
+    || fail "crash+resume metrics differ from the uninterrupted run"
 
 step "kill during the first snapshot rename: no torn file may appear"
 status=0

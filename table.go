@@ -49,6 +49,13 @@ func NoHeader() LoadOption {
 	return func(c *loadConfig) { c.csv.NoHeader = true }
 }
 
+// WithTrace records the load phases (CSV "parse", then "rank-encode") as
+// child spans of parent — typically the same Tracer root later passed to
+// Options.Trace, so one trace covers the whole pipeline.
+func WithTrace(parent *Span) LoadOption {
+	return func(c *loadConfig) { c.csv.Trace = parent }
+}
+
 func buildConfig(opts []LoadOption) loadConfig {
 	var c loadConfig
 	for _, o := range opts {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"path/filepath"
 	"bytes"
 	"encoding/json"
 	"strconv"
@@ -87,5 +89,153 @@ func TestTextOutputWithFindings(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "package clause here (noisy)") {
 		t.Errorf("text output missing expected line:\n%s", buf.String())
+	}
+}
+
+// noisyAnalyzer reports one finding per file with the given name.
+func noisyAnalyzer(name, msg string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer " + name,
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				pass.Report(analysis.Diagnostic{Pos: f.Package, Message: msg})
+			}
+			return nil, nil
+		},
+	}
+}
+
+func TestJSONOutputDeterministicallySorted(t *testing.T) {
+	// Two analyzers registered in reverse name order, over two packages
+	// given in reverse path order: output must come back sorted by
+	// (package, file, line, col, analyzer, message), byte-identical
+	// across runs.
+	zz := noisyAnalyzer("zzfinder", "finding")
+	aa := noisyAnalyzer("aafinder", "finding")
+	pkgs := []string{"ocd/internal/analysis/lintutil", "ocd/internal/attr"}
+
+	var first string
+	for run := 0; run < 2; run++ {
+		var buf bytes.Buffer
+		code := multichecker.Run(&buf, pkgs, []*analysis.Analyzer{zz, aa}, true)
+		if code != 3 {
+			t.Fatalf("exit code = %d with findings, want 3", code)
+		}
+		if run == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("-json output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", first, buf.String())
+		}
+	}
+
+	var diags []multichecker.JSONDiagnostic
+	if err := json.Unmarshal([]byte(first), &diags); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(diags) < 4 {
+		t.Fatalf("expected findings from 2 analyzers x 2 packages, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := a.Package + "\x00" + a.File + "\x00" + pad(a.Line) + pad(a.Col) + a.Analyzer + "\x00" + a.Message
+		kb := b.Package + "\x00" + b.File + "\x00" + pad(b.Line) + pad(b.Col) + b.Analyzer + "\x00" + b.Message
+		if ka > kb {
+			t.Errorf("output not sorted at %d:\n%+v\n%+v", i, a, b)
+		}
+	}
+	for _, d := range diags {
+		if strings.HasPrefix(d.File, "/") {
+			t.Errorf("file paths must be cwd-relative, got %q", d.File)
+		}
+		if d.Severity != "error" {
+			t.Errorf("default severity must be error, got %q", d.Severity)
+		}
+	}
+}
+
+func pad(n int) string {
+	return fmt.Sprintf("%08d\x00", n)
+}
+
+func TestSeverityAndBaselineFlow(t *testing.T) {
+	warned := noisyAnalyzer("warned", "legacy convention violation")
+	cfgBase := multichecker.Config{
+		Severities: map[string]string{"warned": "warn"},
+		Baseline:   filepath.Join(t.TempDir(), "baseline.json"),
+	}
+
+	// 1. Without a baseline file, warn findings still block.
+	var buf bytes.Buffer
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{warned}, true, cfgBase); code != 3 {
+		t.Fatalf("warn findings with no baseline: exit %d, want 3", code)
+	}
+
+	// 2. -write-baseline records them and unblocks the run.
+	cfgWrite := cfgBase
+	cfgWrite.WriteBaseline = true
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{warned}, true, cfgWrite); code != 0 {
+		t.Fatalf("write-baseline run: exit %d, want 0", code)
+	}
+
+	// 3. With the baseline in place the same findings are excused and
+	//    the JSON output holds only active findings (none).
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{warned}, true, cfgBase); code != 0 {
+		t.Fatalf("baselined warn findings: exit %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	var diags []multichecker.JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("baselined findings must not appear in JSON output, got %d", len(diags))
+	}
+
+	// 4. A NEW warn finding beyond the baseline blocks.
+	fresh := noisyAnalyzer("warned", "a brand new violation")
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{warned, fresh}, true, cfgBase); code != 3 {
+		t.Fatalf("new warn finding beyond baseline: exit %d, want 3", code)
+	}
+
+	// 5. Error-tier findings are never excused by the baseline.
+	cfgError := cfgBase
+	cfgError.Severities = map[string]string{"warned": "error"}
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{warned}, true, cfgError); code != 3 {
+		t.Fatalf("error findings must block despite baseline: exit %d, want 3", code)
+	}
+
+	// 6. A stale baseline entry passes by default and fails in strict
+	//    mode (the CI configuration).
+	clean := noisyAnalyzer("silent", "never fires")
+	clean.Run = func(pass *analysis.Pass) (interface{}, error) { return nil, nil }
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{clean}, true, cfgBase); code != 0 {
+		t.Fatalf("stale baseline without strict: exit %d, want 0", code)
+	}
+	cfgStrict := cfgBase
+	cfgStrict.BaselineStrict = true
+	buf.Reset()
+	if code := multichecker.RunWithConfig(&buf, []string{cleanPkg}, []*analysis.Analyzer{clean}, true, cfgStrict); code != 3 {
+		t.Fatalf("stale baseline in strict mode: exit %d, want 3", code)
+	}
+}
+
+func TestFullSuiteHasElevenAnalyzers(t *testing.T) {
+	if len(analyzers) != 11 {
+		t.Fatalf("registered analyzers = %d, want 11", len(analyzers))
+	}
+	if len(severities) != len(analyzers) {
+		t.Errorf("severities map covers %d analyzers, want %d", len(severities), len(analyzers))
+	}
+	for _, a := range analyzers {
+		if s := severities[a.Name]; s != "error" && s != "warn" {
+			t.Errorf("analyzer %s has no severity tier", a.Name)
+		}
 	}
 }

@@ -183,12 +183,42 @@ func WalkNodeSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
 	})
 }
 
+// RootObject returns the object of the leftmost identifier of an
+// lvalue-shaped path: `c` for `c.mu`, `s` for `(*s).f[i].g`. It is nil
+// when the expression does not bottom out in a plain identifier (a
+// call result, a composite literal, …).
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
 // FuncBodies returns every function body in file paired with the
 // position its diagnostics should anchor to: each FuncDecl body and
 // each FuncLit body, outermost first.
 type FuncBody struct {
 	Body *ast.BlockStmt
-	Name string // declared name, or "func literal"
+	Name string             // declared name, or "func literal"
+	Type *ast.FuncType      // signature, for parameter-order checks
+	Doc  *ast.CommentGroup  // declaration doc comment; nil for literals
 }
 
 // Bodies collects the function bodies of file.
@@ -198,10 +228,10 @@ func Bodies(file *ast.File) []FuncBody {
 		switch n := n.(type) {
 		case *ast.FuncDecl:
 			if n.Body != nil {
-				out = append(out, FuncBody{Body: n.Body, Name: n.Name.Name})
+				out = append(out, FuncBody{Body: n.Body, Name: n.Name.Name, Type: n.Type, Doc: n.Doc})
 			}
 		case *ast.FuncLit:
-			out = append(out, FuncBody{Body: n.Body, Name: "func literal"})
+			out = append(out, FuncBody{Body: n.Body, Name: "func literal", Type: n.Type})
 		}
 		return true
 	})

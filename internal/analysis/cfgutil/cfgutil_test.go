@@ -319,3 +319,136 @@ func f(mu *sync.RWMutex, wg *sync.WaitGroup) {
 		t.Errorf("waitgroup ops = %v", wgMethods)
 	}
 }
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(rows [][]int) int {
+	s := 0
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`, "f")
+	// Both range loops must be live, and the labeled jumps must keep
+	// the graph connected: the trailing return stays reachable.
+	rangeLoops := 0
+	var ret *cfg.Block
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		if b.Kind == cfg.KindRangeLoop {
+			rangeLoops++
+		}
+		if b.Return() != nil {
+			ret = b
+		}
+	}
+	if rangeLoops != 2 {
+		t.Errorf("expected 2 live range loops, got %d", rangeLoops)
+	}
+	if ret == nil {
+		t.Fatalf("labeled break must leave the return block reachable")
+	}
+	if got := len(ret.Succs); got != 0 {
+		t.Errorf("return block has %d successors, want 0", got)
+	}
+}
+
+func TestBodiesMethodValueClosureUnderGo(t *testing.T) {
+	src := `package p
+type s struct{ n int }
+func (x *s) run() { x.n++ }
+
+// launch spawns workers.
+func launch(x *s) {
+	go x.run()
+	go func() { x.n-- }()
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bodies := cfgutil.Bodies(f)
+	// run, launch, and the go literal: the method value spawned by the
+	// first go statement is not a separate body.
+	if len(bodies) != 3 {
+		t.Fatalf("expected 3 bodies (run, launch, literal), got %d", len(bodies))
+	}
+	byName := map[string]cfgutil.FuncBody{}
+	for _, fb := range bodies {
+		byName[fb.Name] = fb
+	}
+	launch, ok := byName["launch"]
+	if !ok {
+		t.Fatalf("launch body missing: %v", bodies)
+	}
+	if launch.Doc == nil || !strings.Contains(launch.Doc.Text(), "spawns workers") {
+		t.Errorf("FuncBody.Doc must carry the declaration comment, got %v", launch.Doc)
+	}
+	if launch.Type == nil || launch.Type.Params == nil || len(launch.Type.Params.List) != 1 {
+		t.Errorf("FuncBody.Type must carry the signature")
+	}
+	lit, ok := byName["func literal"]
+	if !ok {
+		t.Fatalf("literal body missing")
+	}
+	if lit.Doc != nil {
+		t.Errorf("literals have no doc comment")
+	}
+	// The literal's body must build a CFG on its own (one write node
+	// plus the implicit return path).
+	info := &types.Info{
+		Uses: make(map[*ast.Ident]types.Object),
+		Defs: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	g := cfgutil.New(lit.Body, info)
+	if len(g.Blocks) == 0 || len(g.Blocks[0].Nodes) != 1 {
+		t.Errorf("literal CFG should hold the single x.n-- node")
+	}
+}
+
+func TestRootObject(t *testing.T) {
+	src := `package p
+type inner struct{ g []int }
+type outer struct{ f inner }
+func f(s *outer, m map[string][]int, k string) {
+	_ = s.f
+	_ = (*s).f.g[0]
+	_ = m[k]
+	_ = len(k)
+}`
+	body, _, info := load(t, src, "f")
+	var roots []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		obj := cfgutil.RootObject(info, as.Rhs[0])
+		if obj == nil {
+			roots = append(roots, "<nil>")
+		} else {
+			roots = append(roots, obj.Name())
+		}
+		return false
+	})
+	want := []string{"s", "s", "m", "<nil>"}
+	if strings.Join(roots, ",") != strings.Join(want, ",") {
+		t.Errorf("RootObject roots = %v, want %v", roots, want)
+	}
+}

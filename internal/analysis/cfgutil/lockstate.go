@@ -1,0 +1,171 @@
+// Lock-state lattice shared by the mutex dataflow analyzers
+// (lockbalance's balance/held checks, sharedwrite's lockset queries).
+//
+// Per mutex key the analyses track the *set* of configurations the
+// program point may be in, where a configuration is a (locked,
+// defer-armed) pair. Union-joining these sets over CFG edges yields a
+// may-analysis that answers both polarities of question:
+//
+//   - "may be unlocked here?"  — bits&LockAnyUnlocked != 0, the leak
+//     and double-lock queries of lockbalance;
+//   - "must be held here?"     — bits non-zero with no unlocked
+//     configuration possible, the lockset query of sharedwrite.
+package cfgutil
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Configuration bits: index = locked + 2*deferred.
+const (
+	LockUnlocked      = 1 << 0 // (unlocked, no defer armed)
+	LockLocked        = 1 << 1 // (locked, no defer armed)
+	LockUnlockedArmed = 1 << 2 // (unlocked, defer armed)
+	LockLockedArmed   = 1 << 3 // (locked, defer armed)
+
+	LockAnyLocked   = LockLocked | LockLockedArmed
+	LockAnyUnlocked = LockUnlocked | LockUnlockedArmed
+)
+
+// LockState maps a canonical mutex key (see ExprKey) to its
+// configuration-set bits. A missing key means "unlocked, no defer".
+type LockState map[string]uint8
+
+// Get returns the configuration bits of key.
+func (s LockState) Get(key string) uint8 {
+	if v, ok := s[key]; ok {
+		return v
+	}
+	return LockUnlocked
+}
+
+// Clone returns an independent copy of s.
+func (s LockState) Clone() LockState {
+	out := make(LockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Join merges src into s (set union per key), reporting whether s
+// changed — the fixpoint driver's convergence test.
+func (s LockState) Join(src LockState) bool {
+	changed := false
+	for k, v := range src {
+		if s[k]|v != s[k] {
+			s[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Arm records `defer mu.Unlock()`: every configuration gains the
+// armed bit, its locked-ness unchanged (the deferred release runs at
+// return, not now).
+func (s LockState) Arm(key string) {
+	bits := s.Get(key)
+	next := uint8(0)
+	if bits&(LockUnlocked|LockUnlockedArmed) != 0 {
+		next |= LockUnlockedArmed
+	}
+	if bits&(LockLocked|LockLockedArmed) != 0 {
+		next |= LockLockedArmed
+	}
+	s[key] = next
+}
+
+// SetLocked records a Lock/RLock: every configuration becomes locked,
+// its armed-ness unchanged.
+func (s LockState) SetLocked(key string) {
+	bits := s.Get(key)
+	next := uint8(0)
+	if bits&(LockUnlocked|LockLocked) != 0 {
+		next |= LockLocked
+	}
+	if bits&(LockUnlockedArmed|LockLockedArmed) != 0 {
+		next |= LockLockedArmed
+	}
+	s[key] = next
+}
+
+// SetUnlocked records an Unlock/RUnlock: every configuration becomes
+// unlocked, its armed-ness unchanged.
+func (s LockState) SetUnlocked(key string) {
+	bits := s.Get(key)
+	next := uint8(0)
+	if bits&(LockUnlocked|LockLocked) != 0 {
+		next |= LockUnlocked
+	}
+	if bits&(LockUnlockedArmed|LockLockedArmed) != 0 {
+		next |= LockUnlockedArmed
+	}
+	s[key] = next
+}
+
+// MustHeld reports whether key is locked on every path reaching this
+// state: some configuration exists and none of them is unlocked.
+func (s LockState) MustHeld(key string) bool {
+	bits, ok := s[key]
+	return ok && bits != 0 && bits&LockAnyUnlocked == 0
+}
+
+// MustHeldKeys returns the keys held on every path, sorted so callers
+// iterate deterministically.
+func (s LockState) MustHeldKeys() []string {
+	var out []string
+	for k := range s {
+		if s.MustHeld(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransferLockNode applies the mutex effect of one CFG node to st:
+// `defer mu.Unlock()` arms, Lock/RLock locks, Unlock/RUnlock unlocks.
+// Nested function literals are skipped (their locking is their own).
+// Read locks are tracked under a separate "<key>[R]" key so RLock
+// pairs with RUnlock, mirroring lockbalance.
+func TransferLockNode(info *types.Info, n ast.Node, st LockState) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if op, ok := MutexOp(info, d.Call); ok {
+			if op.Method == "Unlock" || op.Method == "RUnlock" {
+				st.Arm(LockOpKey(op))
+			}
+		}
+		return
+	}
+	WalkNodeSkipFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := MutexOp(info, call)
+		if !ok {
+			return true
+		}
+		switch op.Method {
+		case "Lock", "RLock":
+			st.SetLocked(LockOpKey(op))
+		case "Unlock", "RUnlock":
+			st.SetUnlocked(LockOpKey(op))
+		}
+		return false
+	})
+}
+
+// LockOpKey returns the lattice key of a mutex operation: the
+// canonical receiver key, with an "[R]" suffix for the read side of an
+// RWMutex so read and write locks are independent.
+func LockOpKey(op SyncOp) string {
+	switch op.Method {
+	case "RLock", "RUnlock", "TryRLock":
+		return op.Key + "[R]"
+	}
+	return op.Key
+}

@@ -1,0 +1,95 @@
+package cfgutil_test
+
+import (
+	"strings"
+	"testing"
+
+	"ocd/internal/analysis/cfgutil"
+)
+
+func TestLockStateTransitions(t *testing.T) {
+	st := make(cfgutil.LockState)
+	if st.MustHeld("mu") {
+		t.Fatalf("empty state must not report must-held")
+	}
+	st.SetLocked("mu")
+	if !st.MustHeld("mu") {
+		t.Errorf("after SetLocked the key is must-held")
+	}
+	st.Arm("mu")
+	if !st.MustHeld("mu") {
+		t.Errorf("arming a deferred unlock keeps the key held until return")
+	}
+	st.SetUnlocked("mu")
+	if st.MustHeld("mu") {
+		t.Errorf("after SetUnlocked the key is no longer held")
+	}
+}
+
+func TestLockStateJoinIsMayUnion(t *testing.T) {
+	locked := make(cfgutil.LockState)
+	locked.SetLocked("mu")
+	unlocked := make(cfgutil.LockState)
+	unlocked.SetUnlocked("mu")
+
+	merged := locked.Clone()
+	if changed := merged.Join(unlocked); !changed {
+		t.Fatalf("joining a new configuration must report a change")
+	}
+	if merged.MustHeld("mu") {
+		t.Errorf("a path where mu is unlocked defeats must-held")
+	}
+	if merged.Get("mu")&cfgutil.LockAnyLocked == 0 {
+		t.Errorf("the locked configuration must survive the union")
+	}
+	if changed := merged.Join(unlocked); changed {
+		t.Errorf("joining an already-absorbed state must converge (no change)")
+	}
+}
+
+func TestLockStateMustHeldKeysSorted(t *testing.T) {
+	st := make(cfgutil.LockState)
+	st.SetLocked("z")
+	st.SetLocked("a")
+	st.SetLocked("m")
+	st.SetUnlocked("m")
+	got := st.MustHeldKeys()
+	if strings.Join(got, ",") != "a,z" {
+		t.Errorf("MustHeldKeys = %v, want [a z]", got)
+	}
+}
+
+func TestTransferLockNode(t *testing.T) {
+	src := `package p
+import "sync"
+func f(mu *sync.RWMutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	mu.RLock()
+	go func() { mu.Lock() }()
+	mu.RUnlock()
+}`
+	body, _, info := load(t, src, "f")
+	st := make(cfgutil.LockState)
+	for _, stmt := range body.List {
+		cfgutil.TransferLockNode(info, stmt, st)
+	}
+	// The write lock is held with its deferred release armed; the read
+	// side went through RLock+RUnlock and the literal's Lock was skipped.
+	var keys []string
+	for k := range st {
+		keys = append(keys, k)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("expected write and read keys, got %v", keys)
+	}
+	held := st.MustHeldKeys()
+	if len(held) != 1 || strings.HasSuffix(held[0], "[R]") {
+		t.Errorf("only the write lock should be must-held, got %v", held)
+	}
+	for k := range st {
+		if strings.HasSuffix(k, "[R]") && st.MustHeld(k) {
+			t.Errorf("read lock was released; must not be held")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Test fixtures for the ctxflow analyzer: parameter-order and
+// struct-storage violations, hot loops with and without stop polls,
+// and the lint:allow escape hatch.
+package c
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Good follows the convention.
+func Good(ctx context.Context, n int) {
+	_ = n
+}
+
+func BadOrder(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = n
+	_ = ctx
+}
+
+var litBad = func(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = n
+	_ = ctx
+}
+
+type holder struct {
+	ctx context.Context // want `context\.Context stored in a struct field`
+	n   int
+}
+
+type plain struct {
+	n int
+}
+
+// sum is a hot kernel that never looks at any stop signal.
+//
+// lint:hot
+func sum(vals []int) int {
+	total := 0
+	for _, v := range vals { // want `hot loop never polls a stop signal`
+		total += v
+	}
+	return total
+}
+
+// sumCtx batches an Err poll into the hot loop.
+//
+// lint:hot
+func sumCtx(ctx context.Context, vals []int) int {
+	total := 0
+	for i, v := range vals { // ok: polls ctx.Err
+		if i%1024 == 0 && ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+// sumFlag polls an atomic stop flag.
+//
+// lint:hot
+func sumFlag(flag *atomic.Bool, vals []int) int {
+	total := 0
+	for _, v := range vals { // ok: atomic load
+		if flag.Load() {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+type ctrl struct{ done bool }
+
+func (c *ctrl) stopped() bool { return c.done }
+
+// sumCtrl polls through a stop-named helper.
+//
+// lint:hot
+func sumCtrl(c *ctrl, vals []int) int {
+	total := 0
+	for _, v := range vals { // ok: callee mentions stop
+		if c.stopped() {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+// nested: the poll sits in the inner loop; the outermost nest is the
+// unit of judgement, so the whole nest is fine.
+//
+// lint:hot
+func nested(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows { // ok: inner loop polls
+		for _, v := range row {
+			if ctx.Err() != nil {
+				return total
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// selectPoll uses the select form of the ctx.Done poll.
+//
+// lint:hot
+func selectPoll(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // ok: select on ctx.Done
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// notHot carries no marker: the poll rule does not apply.
+func notHot(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// allowed documents why polling would cost more than it saves.
+//
+// lint:hot
+func allowed(vals []int) int {
+	total := 0
+	// lint:allow ctxflow — bounded small input, cheaper than polling
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -87,3 +87,19 @@ func ExemptPath(path string) bool {
 func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
 }
+
+// IsHot reports whether the function's doc comment carries the
+// lint:hot marker that opts it into the hot-path analyzers
+// (hotloopalloc, obshot, ctxflow's loop-poll rule).
+func IsHot(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "lint:hot")
+}
+
+// DeclaresSorted reports whether the function declaration's doc
+// comment carries the lint:sorted marker: a promise that the function
+// places its receiver's (or argument's) elements into a canonical
+// order, laundering map-iteration order. mapdeterminism treats a
+// dominating call to such a function like a sort.* call.
+func DeclaresSorted(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "lint:sorted")
+}

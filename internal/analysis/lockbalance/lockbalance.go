@@ -43,46 +43,20 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// State lattice: per mutex key, the set of possible (locked, deferred)
-// configurations at a program point. Bit index = locked + 2*deferred.
+// The per-mutex configuration lattice lives in cfgutil (shared with
+// sharedwrite's lockset queries); local aliases keep the transfer code
+// readable.
 const (
-	cfgUnlocked      = 1 << 0 // (unlocked, no defer armed)
-	cfgLocked        = 1 << 1 // (locked, no defer armed)
-	cfgUnlockedArmed = 1 << 2 // (unlocked, defer armed)
-	cfgLockedArmed   = 1 << 3 // (locked, defer armed)
+	cfgUnlocked      = cfgutil.LockUnlocked
+	cfgLocked        = cfgutil.LockLocked
+	cfgUnlockedArmed = cfgutil.LockUnlockedArmed
+	cfgLockedArmed   = cfgutil.LockLockedArmed
 
-	anyLocked   = cfgLocked | cfgLockedArmed
-	anyUnlocked = cfgUnlocked | cfgUnlockedArmed
+	anyLocked   = cfgutil.LockAnyLocked
+	anyUnlocked = cfgutil.LockAnyUnlocked
 )
 
-type state map[string]uint8
-
-func (s state) get(key string) uint8 {
-	if v, ok := s[key]; ok {
-		return v
-	}
-	return cfgUnlocked
-}
-
-func (s state) clone() state {
-	out := make(state, len(s))
-	for k, v := range s {
-		out[k] = v
-	}
-	return out
-}
-
-// join merges src into dst, reporting whether dst changed.
-func (s state) join(src state) bool {
-	changed := false
-	for k, v := range src {
-		if s[k]|v != s[k] {
-			s[k] |= v
-			changed = true
-		}
-	}
-	return changed
-}
+type state = cfgutil.LockState
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if lintutil.ExemptPath(pass.Pkg.Path()) {
@@ -167,9 +141,9 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, fb cfgutil.FuncBody
 		b := work[0]
 		work = work[1:]
 		onWork[b.Index] = false
-		out := fc.transferBlock(b, in[b.Index].clone(), false)
+		out := fc.transferBlock(b, in[b.Index].Clone(), false)
 		for _, succ := range b.Succs {
-			if in[succ.Index].join(out) && !onWork[succ.Index] {
+			if in[succ.Index].Join(out) && !onWork[succ.Index] {
 				onWork[succ.Index] = true
 				work = append(work, succ)
 			}
@@ -182,13 +156,13 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, fb cfgutil.FuncBody
 		if !b.Live {
 			continue
 		}
-		fc.transferBlock(b, in[b.Index].clone(), true)
+		fc.transferBlock(b, in[b.Index].Clone(), true)
 	}
 
 	// Leak check at every normal exit.
 	leaked := make(map[string]bool)
 	for _, b := range cfgutil.Exits(g, pass.TypesInfo) {
-		out := fc.transferBlock(b, in[b.Index].clone(), false)
+		out := fc.transferBlock(b, in[b.Index].Clone(), false)
 		for key, bits := range out {
 			if bits&cfgLocked != 0 { // locked with no defer armed on some path
 				leaked[key] = true
@@ -251,7 +225,7 @@ func (fc *funcCheck) transferNode(n ast.Node, st state, report bool) {
 		if op, ok := cfgutil.MutexOp(fc.info, n.Call); ok {
 			if op.Method == "Unlock" || op.Method == "RUnlock" {
 				key, _ := fc.opKey(op)
-				arm(st, key)
+				st.Arm(key)
 				return
 			}
 		}
@@ -269,13 +243,13 @@ func (fc *funcCheck) transferNode(n ast.Node, st state, report bool) {
 				key, _ := fc.opKey(op)
 				switch op.Method {
 				case "Lock", "RLock":
-					if report && st.get(key)&anyUnlocked == 0 {
+					if report && st.Get(key)&anyUnlocked == 0 {
 						fc.report(m.Pos(), key, "%s.%s() while %s is already held: self-deadlock",
 							fc.display[key], op.Method, fc.display[key])
 					}
-					setLocked(st, key)
+					st.SetLocked(key)
 				case "Unlock", "RUnlock":
-					setUnlocked(st, key)
+					st.SetUnlocked(key)
 				}
 				return false // don't treat the receiver walk as work
 			}
@@ -295,42 +269,6 @@ func (fc *funcCheck) transferNode(n ast.Node, st state, report bool) {
 		}
 		return true
 	})
-}
-
-func arm(st state, key string) {
-	bits := st.get(key)
-	next := uint8(0)
-	if bits&(cfgUnlocked|cfgUnlockedArmed) != 0 {
-		next |= cfgUnlockedArmed
-	}
-	if bits&(cfgLocked|cfgLockedArmed) != 0 {
-		next |= cfgLockedArmed
-	}
-	st[key] = next
-}
-
-func setLocked(st state, key string) {
-	bits := st.get(key)
-	next := uint8(0)
-	if bits&(cfgUnlocked|cfgLocked) != 0 {
-		next |= cfgLocked
-	}
-	if bits&(cfgUnlockedArmed|cfgLockedArmed) != 0 {
-		next |= cfgLockedArmed
-	}
-	st[key] = next
-}
-
-func setUnlocked(st state, key string) {
-	bits := st.get(key)
-	next := uint8(0)
-	if bits&(cfgUnlocked|cfgLocked) != 0 {
-		next |= cfgUnlocked
-	}
-	if bits&(cfgUnlockedArmed|cfgLockedArmed) != 0 {
-		next |= cfgUnlockedArmed
-	}
-	st[key] = next
 }
 
 // expensiveCall reports whether call is blocking or expensive work

@@ -1,0 +1,13 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/mapdeterminism"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapdeterminism.Analyzer, "b")
+}

@@ -1,0 +1,164 @@
+// Test fixtures for the mapdeterminism analyzer. Every `// want`
+// comment pins a diagnostic; the rest exercise the exemptions: sorts
+// after the loop, lint:sorted helpers, map-to-map copies, pure
+// counting, value-building fmt.Sprintf, and lint:allow.
+package b
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"checkpoint"
+)
+
+// SeededJSON is the seeded reproducibility bug: streaming entries to a
+// JSON encoder in map-iteration order produces a different byte
+// sequence every run, which the resume differential flags as
+// corruption even though the entry set is identical.
+func SeededJSON(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		enc.Encode(k) // want `map-iteration order escapes into a JSON encoder`
+	}
+}
+
+// Keys returns a slice built in map order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended in map-iteration order and escapes to the caller`
+	}
+	return out
+}
+
+// NamedResult escapes through a named result parameter.
+func NamedResult(m map[string]int) (keys []string) {
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended in map-iteration order and escapes to the caller`
+	}
+	return
+}
+
+// PrintAll streams keys straight to stdout.
+func PrintAll(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `map-iteration order escapes into fmt\.Println`
+	}
+}
+
+// Stream sends keys on a channel in map order.
+func Stream(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map-iteration order escapes into a channel send`
+	}
+}
+
+// Snapshot records entries into the checkpoint payload in map order.
+func Snapshot(m map[string]int) {
+	for k := range m {
+		checkpoint.Record(k) // want `map-iteration order escapes into checkpoint encoding \(Record\)`
+	}
+}
+
+// CollectThenPrint shows the one-hop flow: a local accumulator filled
+// in map order and emitted after the loop without a sort.
+func CollectThenPrint(m map[string]int) {
+	var acc []string
+	for k := range m {
+		acc = append(acc, k) // want `acc is appended in map-iteration order and later emitted`
+	}
+	fmt.Println(acc)
+}
+
+// Nested taints through two map-range levels.
+func Nested(ms map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range ms {
+		for k := range inner {
+			out = append(out, k) // want `out is appended in map-iteration order and escapes to the caller`
+		}
+	}
+	return out
+}
+
+type set struct{ elems []string }
+
+// fillRaw mutates the receiver in map order: callers observe it.
+func (s *set) fillRaw(m map[string]int) {
+	for k := range m {
+		s.elems = append(s.elems, k) // want `s\.elems is appended in map-iteration order and escapes to the caller`
+	}
+}
+
+// --- non-firing cases ---
+
+// SortedKeys is the canonical laundering pattern.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: sorted below
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Labels builds values with Sprintf (not a stream sink) and sorts.
+func Labels(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, fmt.Sprintf("label-%s", k)) // ok: sorted below
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalize places elems into canonical order.
+//
+// lint:sorted
+func (s *set) normalize() { sort.Strings(s.elems) }
+
+// fill routes the receiver through the lint:sorted helper.
+func (s *set) fill(m map[string]int) {
+	for k := range m {
+		s.elems = append(s.elems, k) // ok: normalize declares lint:sorted
+	}
+	s.normalize()
+}
+
+// Invert copies map to map: encoders sort map keys, so no order leaks.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // ok: map-to-map copy
+	}
+	return out
+}
+
+// CountEvens only aggregates; order-insensitive.
+func CountEvens(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v%2 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Count uses the bare form: nothing to taint.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Debug deliberately prints in map order.
+func Debug(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // lint:allow mapdeterminism — debug helper, order irrelevant
+	}
+}

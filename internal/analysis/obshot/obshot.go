@@ -19,7 +19,6 @@ package obshot
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"golang.org/x/tools/go/analysis"
 
@@ -49,7 +48,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		allow := lintutil.NewAllower(pass.Fset, file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHot(fn) {
+			if !ok || fn.Body == nil || !lintutil.IsHot(fn) {
 				continue
 			}
 			w := &walker{pass: pass, allow: allow, fn: fn.Name.Name}
@@ -57,12 +56,6 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 	return nil, nil
-}
-
-// isHot reports whether the function's doc comment carries the
-// lint:hot marker.
-func isHot(fn *ast.FuncDecl) bool {
-	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "lint:hot")
 }
 
 type walker struct {

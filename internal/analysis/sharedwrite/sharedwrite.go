@@ -1,0 +1,560 @@
+// Package sharedwrite is a race-lite static check over goroutine
+// spawns: a write to a variable captured by a `go func() { … }()`
+// closure (or to a struct field or element reached through one) is
+// flagged when the variable is reachable from more than one goroutine
+// and the write is not synchronized. Unlike `go test -race`, which
+// only sees races the tests happen to execute, this runs at review
+// time over every spawn in the tree — the gate the §5.3.1 parallel
+// rewrites must pass.
+//
+// A write inside a spawned literal is *shared* when any of these holds:
+//
+//  1. the go statement sits inside a loop and the written variable is
+//     declared outside that loop, so several instances of the
+//     goroutine run concurrently and all write the same variable
+//     (a variable redeclared per iteration is instance-local);
+//  2. another goroutine spawned by the same function accesses the same
+//     variable;
+//  3. the spawning function itself accesses the variable at a point
+//     not ordered with the goroutine — after the `go` statement and
+//     before a `wg.Wait()` of a WaitGroup the goroutine calls Done on
+//     (accesses before the spawn happen-before it; accesses after the
+//     matching Wait happen-after the goroutine's exit).
+//
+// Symmetrically, a write by the spawning function in that unordered
+// window to a variable the goroutine accesses is flagged at the
+// writing site. A write is *synchronized* — and exempt — when some
+// mutex is held on every CFG path reaching it (the lockset comes from
+// the cfgutil lock-state lattice shared with lockbalance) or when the
+// access goes through sync/atomic (atomic calls are not writes in the
+// AST sense, so they never trigger the check). Writes to distinct
+// slice elements indexed by a goroutine-local variable — the worker
+// sharding pattern `outs[w] = …` with per-goroutine w — are exempt;
+// writes to a shared map are flagged regardless of the key, since
+// concurrent map writes fault even on distinct keys.
+//
+// Known blind spots, accepted for a race-lite check: writes through a
+// goroutine-local pointer into shared memory (`p := &shared; *p = x`
+// with p declared inside the literal), writes hidden behind method
+// calls on a shared receiver, accesses from closures passed to other
+// functions, and lock disciplines split across functions. Suppress a
+// deliberate site with // lint:allow sharedwrite.
+package sharedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+
+	"ocd/internal/analysis/cfgutil"
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the sharedwrite analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedwrite",
+	Doc:  "flags unsynchronized writes to variables shared between goroutines: captured writes in go closures and spawner writes concurrent with a running goroutine (suppress with // lint:allow sharedwrite)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.ExemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		for _, fb := range cfgutil.Bodies(file) {
+			checkFunc(pass, allow, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// access is one appearance of a shared path inside a region.
+type access struct {
+	pos     token.Pos
+	rootPos token.Pos // declaration position of the path's root variable
+	write   bool
+	synced  bool // write under a must-held mutex
+	display string
+}
+
+// spawn is one `go func() { … }()` statement of the analyzed body.
+type spawn struct {
+	stmt *ast.GoStmt
+	lit  *ast.FuncLit
+	loop ast.Node // innermost enclosing for/range, nil when none
+	// accesses to free variables, keyed by canonical path (see pathKey).
+	accesses map[string][]access
+	// doneKeys are the WaitGroups the literal calls Done on; a Wait on
+	// one of them in the spawner orders later spawner accesses after
+	// the goroutine's exit.
+	doneKeys map[string]bool
+}
+
+func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Collect loops and go statements spawning literals at this body's
+	// level (not inside nested literals — those are their own bodies).
+	var loops []ast.Node
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	var spawns []*spawn
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		sp := &spawn{stmt: g, lit: lit}
+		for _, l := range loops {
+			if g.Pos() > l.Pos() && g.End() <= l.End() {
+				if sp.loop == nil || (l.Pos() >= sp.loop.Pos() && l.End() <= sp.loop.End()) {
+					sp.loop = l // innermost wins
+				}
+			}
+		}
+		spawns = append(spawns, sp)
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	for _, sp := range spawns {
+		sp.accesses = collectFreeAccesses(info, sp.lit)
+		sp.doneKeys = doneKeys(info, sp.lit)
+	}
+
+	// Spawner-side accesses (outside every function literal), plus the
+	// Wait positions that order them.
+	bodyAcc := collectBodyAccesses(info, body, spawns)
+	waits := waitSites(info, body)
+
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] || allow.Allows(pos, "sharedwrite") {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	for i, sp := range spawns {
+		// waitPos is the first Wait of one of the literal's WaitGroups
+		// after the spawn; spawner accesses beyond it are ordered.
+		waitPos := matchingWait(waits, sp)
+		for _, key := range sortedKeys(sp.accesses) {
+			accs := sp.accesses[key]
+			var goWrites []access
+			for _, a := range accs {
+				if a.write && !a.synced {
+					goWrites = append(goWrites, a)
+				}
+			}
+
+			// Rules 1–3: unsynchronized writes inside the goroutine.
+			for _, w := range goWrites {
+				switch {
+				case sp.loop != nil && !(w.rootPos >= sp.loop.Pos() && w.rootPos < sp.loop.End()):
+					report(w.pos, "%s is written by a goroutine spawned in a loop: concurrent instances race on it; use sync/atomic, hold a mutex, or give each instance its own variable (// lint:allow sharedwrite to suppress)", w.display)
+				case otherSpawnAccesses(spawns, i, key):
+					report(w.pos, "%s is written here and accessed by another goroutine spawned by the same function without synchronization; use sync/atomic or hold a mutex (// lint:allow sharedwrite to suppress)", w.display)
+				case anyInWindow(bodyAcc[key], sp.stmt.Pos(), waitPos):
+					report(w.pos, "%s is written by this goroutine while the spawning function still accesses it (access not ordered by the go statement or a matching Wait); synchronize, or move the access before the spawn or after the Wait (// lint:allow sharedwrite to suppress)", w.display)
+				}
+			}
+
+			// Rule 3 mirrored: the spawner writes in the unordered
+			// window while the goroutine accesses the same variable
+			// (even a goroutine-side locked write races with a lockless
+			// spawner write).
+			for _, a := range bodyAcc[key] {
+				if !a.write || a.synced {
+					continue
+				}
+				if a.pos > sp.stmt.Pos() && a.pos < waitPos {
+					report(a.pos, "%s is written here while a goroutine that accesses it may still be running (write not ordered by the go statement or a matching Wait); synchronize, or move the write after the Wait (// lint:allow sharedwrite to suppress)", a.display)
+				}
+			}
+		}
+	}
+}
+
+// pathKey returns a canonical key for an lvalue-shaped path plus the
+// declaration position of its root variable. Index components collapse
+// ("outs[w]" and "outs[i]" share a key — distinct indexes may collide,
+// which is the conservative direction for a race check). ok is false
+// when the path does not bottom out in a variable, or — when [lo, hi)
+// brackets a goroutine literal — when the root is declared inside it
+// and therefore goroutine-local.
+func pathKey(info *types.Info, e ast.Expr, lo, hi token.Pos) (key string, rootPos token.Pos, ok bool) {
+	root := cfgutil.RootObject(info, e)
+	v, isVar := root.(*types.Var)
+	if !isVar {
+		return "", token.NoPos, false
+	}
+	if lo != token.NoPos && v.Pos() >= lo && v.Pos() < hi {
+		return "", token.NoPos, false // declared inside the literal
+	}
+	return v.Name() + "@" + strconv.Itoa(int(v.Pos())) + "/" + pathString(e), v.Pos(), true
+}
+
+// pathString renders the shape of an access path: selectors keep their
+// field names, index and slice components collapse, pointer and
+// address-of operators are transparent.
+func pathString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return pathString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return pathString(x.X) + "[]"
+	case *ast.SliceExpr:
+		return pathString(x.X) + "[:]"
+	case *ast.StarExpr:
+		return pathString(x.X)
+	case *ast.UnaryExpr:
+		return pathString(x.X)
+	}
+	return "?"
+}
+
+// localsMentioned reports whether expr mentions any object declared
+// inside [lo, hi) — used to recognize goroutine-local slice indexes.
+func localsMentioned(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
+	found := false
+	ast.Inspect(expr, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && obj.Pos() >= lo && obj.Pos() < hi {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectFreeAccesses walks the spawned literal's entire subtree
+// (including nested closures, which run on — or escape from — this
+// goroutine) and records reads and writes of paths rooted at variables
+// captured from outside the literal. Writes carry the lockset verdict
+// of the literal's own CFG.
+func collectFreeAccesses(info *types.Info, lit *ast.FuncLit) map[string][]access {
+	held := lockedRegions(info, lit.Body)
+	out := make(map[string][]access)
+	add := func(e ast.Expr, write bool) {
+		key, rootPos, ok := pathKey(info, e, lit.Pos(), lit.End())
+		if !ok {
+			return
+		}
+		out[key] = append(out[key], access{
+			pos:     e.Pos(),
+			rootPos: rootPos,
+			write:   write,
+			synced:  write && held(e.Pos()),
+			display: types.ExprString(e),
+		})
+	}
+	classifyAccesses(info, lit.Body, lit.Pos(), lit.End(), add)
+	return out
+}
+
+// collectBodyAccesses records accesses made by the spawner itself —
+// outside every function literal — to the paths some spawn shares.
+func collectBodyAccesses(info *types.Info, body *ast.BlockStmt, spawns []*spawn) map[string][]access {
+	shared := make(map[string]bool)
+	for _, sp := range spawns {
+		for k := range sp.accesses {
+			shared[k] = true
+		}
+	}
+	held := lockedRegions(info, body)
+	out := make(map[string][]access)
+	add := func(e ast.Expr, write bool) {
+		key, rootPos, ok := pathKey(info, e, token.NoPos, token.NoPos)
+		if !ok || !shared[key] {
+			return
+		}
+		out[key] = append(out[key], access{
+			pos:     e.Pos(),
+			rootPos: rootPos,
+			write:   write,
+			synced:  write && held(e.Pos()),
+			display: types.ExprString(e),
+		})
+	}
+	classifyAccesses(info, body, token.NoPos, token.NoPos, add)
+	return out
+}
+
+// classifyAccesses walks root and reports each variable access as a
+// read or a write via add. When [lo, hi) brackets a goroutine literal,
+// nested function literals are included (they run on the goroutine)
+// and slice writes indexed by a literal-local variable are treated as
+// sharded; when lo is NoPos (the spawner's body), nested literals are
+// skipped — each is its own analysis subject.
+func classifyAccesses(info *types.Info, root ast.Node, lo, hi token.Pos, add func(e ast.Expr, write bool)) {
+	inLiteral := lo != token.NoPos
+	skipRead := make(map[ast.Node]bool)
+
+	markSpine := func(e ast.Expr) {
+		for _, n := range spineNodes(e) {
+			skipRead[n] = true
+		}
+	}
+	recordWrite := func(lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			isMap := false
+			if t := info.Types[ix.X].Type; t != nil {
+				_, isMap = t.Underlying().(*types.Map)
+			}
+			// A slice/array element indexed by a goroutine-local
+			// variable is the sharding pattern: each instance owns its
+			// element. Maps never qualify — concurrent map writes
+			// fault regardless of key. The base and index still count
+			// as reads (the generic pass picks them up).
+			if !isMap && inLiteral && localsMentioned(info, ix.Index, lo, hi) {
+				return
+			}
+			add(ix, true)
+			markSpine(ix)
+			return
+		}
+		add(lhs, true)
+		markSpine(lhs)
+	}
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inLiteral && n != root {
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					recordWrite(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			recordWrite(n.X)
+		}
+
+		// Generic read pass: record each maximal access path not
+		// already claimed by a write above (Inspect visits the
+		// enclosing statement before its operands, so spines are
+		// marked in time).
+		e, isExpr := n.(ast.Expr)
+		if !isExpr || skipRead[n] {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+			add(e, false)
+			markSpine(e)
+		}
+		return true
+	})
+}
+
+// spineNodes returns the access-path chain of e — the expression, its
+// selector fields, and its base prefixes — excluding index operand
+// subtrees, whose reads are independent accesses.
+func spineNodes(e ast.Expr) []ast.Node {
+	var out []ast.Node
+	for e != nil {
+		out = append(out, e)
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			out = append(out, x.Sel)
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			e = nil
+		}
+	}
+	return out
+}
+
+// lockedRegions runs the shared lock-state dataflow over body and
+// returns a query: is some mutex must-held at pos?
+func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bool {
+	hasOp := false
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := cfgutil.MutexOp(info, call); ok {
+				hasOp = true
+			}
+		}
+		return !hasOp
+	})
+	if !hasOp {
+		return func(token.Pos) bool { return false }
+	}
+
+	g := cfgutil.New(body, info)
+	in := make([]cfgutil.LockState, len(g.Blocks))
+	for i := range in {
+		in[i] = make(cfgutil.LockState)
+	}
+	work := []*cfg.Block{g.Blocks[0]}
+	onWork := make([]bool, len(g.Blocks))
+	onWork[0] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onWork[b.Index] = false
+		out := in[b.Index].Clone()
+		for _, n := range b.Nodes {
+			cfgutil.TransferLockNode(info, n, out)
+		}
+		for _, succ := range b.Succs {
+			if in[succ.Index].Join(out) && !onWork[succ.Index] {
+				onWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Record, per CFG node, whether some key is must-held when the
+	// node starts executing; a position query resolves to its innermost
+	// enclosing node.
+	type span struct {
+		lo, hi token.Pos
+		held   bool
+	}
+	var spans []span
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		st := in[b.Index].Clone()
+		for _, n := range b.Nodes {
+			spans = append(spans, span{n.Pos(), n.End(), len(st.MustHeldKeys()) > 0})
+			cfgutil.TransferLockNode(info, n, st)
+		}
+	}
+	return func(pos token.Pos) bool {
+		best := -1
+		for i, s := range spans {
+			if pos < s.lo || pos >= s.hi {
+				continue
+			}
+			if best < 0 || (s.lo >= spans[best].lo && s.hi <= spans[best].hi) {
+				best = i
+			}
+		}
+		return best >= 0 && spans[best].held
+	}
+}
+
+// doneKeys returns the WaitGroup keys the literal calls Done on.
+func doneKeys(info *types.Info, lit *ast.FuncLit) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Done" {
+				out[op.Key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waitSite is one wg.Wait() call of the spawning body.
+type waitSite struct {
+	pos token.Pos
+	key string
+}
+
+func waitSites(info *types.Info, body *ast.BlockStmt) []waitSite {
+	var out []waitSite
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Wait" {
+				out = append(out, waitSite{pos: call.Pos(), key: op.Key})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// matchingWait returns the position of the first Wait after the spawn
+// on a WaitGroup the goroutine calls Done on, or the maximum position
+// when no Wait orders the goroutine's exit.
+func matchingWait(waits []waitSite, sp *spawn) token.Pos {
+	best := token.Pos(1 << 30)
+	for _, w := range waits {
+		if w.pos > sp.stmt.Pos() && sp.doneKeys[w.key] && w.pos < best {
+			best = w.pos
+		}
+	}
+	return best
+}
+
+func otherSpawnAccesses(spawns []*spawn, self int, key string) bool {
+	for i, sp := range spawns {
+		if i != self && len(sp.accesses[key]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func anyInWindow(accs []access, goPos, waitPos token.Pos) bool {
+	for _, a := range accs {
+		if a.pos > goPos && a.pos < waitPos {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string][]access) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,13 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/sharedwrite"
+)
+
+func TestSharedWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedwrite.Analyzer, "a")
+}

@@ -1,0 +1,193 @@
+// Test fixtures for the sharedwrite analyzer. Every `// want` comment
+// pins a diagnostic; the remaining goroutines exercise the exemptions:
+// sync/atomic, a must-held mutex, sharded slice elements, per-iteration
+// rebinding, pre-go/post-Wait ordering, and lint:allow.
+package a
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SeededRace is the seeded §5.3.1 fan-out bug: every worker bumps the
+// shared counter without synchronization. `go test -race` only sees it
+// when a test actually drives this function; sharedwrite flags it
+// statically.
+func SeededRace(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want `total is written by a goroutine spawned in a loop`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// MapRace writes a shared map from looped goroutines: concurrent map
+// writes fault even on distinct keys, so the sharding exemption does
+// not apply.
+func MapRace(n int) map[int]int {
+	m := make(map[int]int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m[i] = i * i // want `m\[i\] is written by a goroutine spawned in a loop`
+		}(i)
+	}
+	wg.Wait()
+	return m
+}
+
+// TwoGoroutines write the same variable from two sibling goroutines.
+func TwoGoroutines() {
+	shared := 0
+	done := make(chan struct{}, 2)
+	go func() {
+		shared = 1 // want `shared is written here and accessed by another goroutine`
+		done <- struct{}{}
+	}()
+	go func() {
+		shared = 2 // want `shared is written here and accessed by another goroutine`
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	fmt.Println(shared)
+}
+
+// BodyRace: the spawner keeps using the variable while the goroutine
+// runs — both the goroutine's write and the spawner's write are in the
+// unordered window, so both sites are flagged.
+func BodyRace(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total += n // want `total is written by this goroutine while the spawning function still accesses it`
+	}()
+	total++ // want `total is written here while a goroutine that accesses it may still be running`
+	wg.Wait()
+	return total
+}
+
+// AtomicCounter is the synchronized twin of SeededRace: sync/atomic
+// operations are method calls, not AST writes, so nothing fires.
+func AtomicCounter(n int) int64 {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total.Add(1) // ok: atomic
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// MutexGuarded writes under a mutex held on every path to the write.
+func MutexGuarded(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++ // ok: mu is must-held here
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// DeferGuarded holds the mutex via defer for the literal's whole body.
+func DeferGuarded(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += 2 // ok: mu is must-held here
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Sharded is the worker fan-out pattern of the discovery core: each
+// goroutine owns outs[w] for its private w, so element writes are
+// per-instance even though outs is captured.
+func Sharded(n int) []int {
+	outs := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w] = w * w // ok: per-goroutine element
+		}(w)
+	}
+	wg.Wait()
+	return outs
+}
+
+type task struct{ result int }
+
+// PerIteration rebinds t inside the loop, so each goroutine instance
+// writes its own task — no cross-instance sharing.
+func PerIteration(ts []*task) {
+	var wg sync.WaitGroup
+	for _, t := range ts {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.result = 1 // ok: t is rebound per iteration
+		}()
+	}
+	wg.Wait()
+}
+
+// OrderedByWait shows the happens-before windows: the spawner touches
+// total before the go statement and after the matching Wait only, so
+// the goroutine's write has the variable to itself while it runs.
+func OrderedByWait(n int) int {
+	total := 0
+	total = n // ok: before the spawn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total *= 2 // ok: spawner accesses are ordered around this goroutine
+	}()
+	wg.Wait()
+	total++ // ok: after the Wait
+	return total
+}
+
+// Allowed suppresses a deliberate benign race with the marker.
+func Allowed(ready chan struct{}) {
+	n := 0
+	go func() {
+		n = 1 // lint:allow sharedwrite — benign: reader joins via the channel
+		close(ready)
+	}()
+	<-ready
+	fmt.Println(n)
+}

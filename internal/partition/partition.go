@@ -67,6 +67,10 @@ func Full(rows int) *Partition {
 
 // normalize sorts classes by their first element so equal partitions have
 // equal representations (handy for tests and deterministic traversal).
+// Class heads are distinct (classes are disjoint), so the order is total
+// and launders the map-iteration order the builders produce classes in.
+//
+// lint:sorted
 func (p *Partition) normalize() {
 	// classes produced by map iteration are unordered; simple insertion
 	// sort by head keeps this dependency-free and fast for small counts.

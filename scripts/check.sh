@@ -7,8 +7,13 @@
 #   3. ocdlint                   the repo's own go/analysis suite
 #                                (nopanic, atomicfield, listalias,
 #                                hotloopalloc, obshot, lockbalance,
-#                                wgcheck, errdrop; see docs/LINTING.md),
-#                                plus a -json smoke so the CI annotation
+#                                wgcheck, errdrop, sharedwrite,
+#                                mapdeterminism, ctxflow; see
+#                                docs/LINTING.md). Runs with
+#                                -baseline-strict: error-tier findings,
+#                                un-baselined warn findings and stale
+#                                lint.baseline.json entries all fail.
+#                                Plus a -json smoke so the CI annotation
 #                                pipeline can trust the output format
 #   4. go test -race ./...       unit + integration tests under the
 #                                race detector (the parallel traversal
@@ -51,8 +56,8 @@ go build ./...
 step "go vet ./..."
 go vet ./...
 
-step "ocdlint ./..."
-go run ./cmd/ocdlint ./...
+step "ocdlint -baseline-strict ./..."
+go run ./cmd/ocdlint -baseline-strict ./...
 
 step "ocdlint -json ./..."
 go run ./cmd/ocdlint -json ./... >/dev/null

@@ -3,18 +3,37 @@
 //
 // Offline shim: loads packages with the goloader (go list -export +
 // gc importer) instead of go/packages. Exit status is 0 when no
-// diagnostics were reported, 1 on driver error, and 3 when diagnostics
-// were reported, matching the upstream checker's convention.
+// blocking diagnostics were reported, 1 on driver error, and 3 when
+// diagnostics were reported, matching the upstream checker's
+// convention.
 //
 // The driver accepts a -json flag that emits diagnostics as a JSON
 // array instead of text, for machine consumption (CI annotations):
 //
-//	[{"analyzer":"lockbalance","posn":"file.go:12:2",
-//	  "file":"file.go","line":12,"col":2,"message":"..."}]
+//	[{"analyzer":"lockbalance","severity":"error","package":"ocd/internal/core",
+//	  "posn":"file.go:12:2","file":"file.go","line":12,"col":2,"message":"..."}]
 //
 // This is a deliberate, documented deviation from the upstream
 // multichecker (whose -json output is keyed by package and analyzer);
-// the flat array is easier to turn into CI annotations with jq.
+// the flat array is easier to turn into CI annotations with jq. The
+// array is sorted by (package, file, line, col, analyzer, message) and
+// file paths are relative to the working directory, so the output is
+// byte-stable across machines and runs.
+//
+// # Severity tiers and the baseline
+//
+// Each analyzer carries a severity, "error" (the default) or "warn",
+// configured by the embedding command via Config.Severities or
+// overridden with -severity name=level,… on the command line.
+// Error-tier findings always block (exit 3). Warn-tier findings can be
+// excused by a committed baseline file (-baseline, JSON): each
+// baseline entry — (analyzer, file, message), deliberately without a
+// line number so unrelated edits do not invalidate it — absorbs at
+// most one matching finding. New warn findings beyond the baseline
+// block like errors. Stale entries (matching nothing) are reported to
+// stderr and fail the run only under -baseline-strict, the mode CI
+// uses so the file cannot rot. -write-baseline regenerates the file
+// from the current warn-tier findings.
 package multichecker
 
 import (
@@ -24,7 +43,9 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/internal/goloader"
@@ -33,6 +54,8 @@ import (
 // A JSONDiagnostic is one finding in -json output.
 type JSONDiagnostic struct {
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Package  string `json:"package"`
 	Posn     string `json:"posn"` // file:line:col
 	File     string `json:"file"`
 	Line     int    `json:"line"`
@@ -40,14 +63,56 @@ type JSONDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// Config controls severity tiers and baseline handling for a run.
+type Config struct {
+	// Severities maps analyzer name → "error" or "warn". Missing
+	// analyzers default to "error".
+	Severities map[string]string
+	// Baseline is the path of the committed warn-tier baseline; empty
+	// disables baseline handling. A missing file reads as empty.
+	Baseline string
+	// WriteBaseline regenerates Baseline from this run's warn findings
+	// instead of matching against it.
+	WriteBaseline bool
+	// BaselineStrict makes stale baseline entries fail the run.
+	BaselineStrict bool
+}
+
+// baselineFile is the on-disk shape of the baseline.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func (e baselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
 // Main is the main function for a multi-analyzer driver. It parses
 // command-line package patterns (default "./...") and never returns.
 func Main(analyzers ...*analysis.Analyzer) {
+	MainWithConfig(Config{}, analyzers...)
+}
+
+// MainWithConfig is Main with severity and baseline defaults supplied
+// by the embedding command; command-line flags override them.
+func MainWithConfig(cfg Config, analyzers ...*analysis.Analyzer) {
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	baselineFlag := flag.String("baseline", cfg.Baseline, "warn-tier baseline file (empty disables)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline from current warn-tier findings")
+	strictFlag := flag.Bool("baseline-strict", false, "fail when the baseline has stale entries (CI mode)")
+	severityFlag := flag.String("severity", "", "override severities: name=error|warn,… ")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-json] [packages...]\n\nRegistered analyzers:\n", os.Args[0])
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-json] [-baseline file] [-write-baseline] [-baseline-strict] [-severity name=level,…] [packages...]\n\nRegistered analyzers:\n", os.Args[0])
 		for _, a := range analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, firstSentence(a.Doc))
+			sev := severityOf(cfg.Severities, a.Name)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s [%s] %s\n", a.Name, sev, firstSentence(a.Doc))
 		}
 	}
 	flag.Parse()
@@ -55,24 +120,57 @@ func Main(analyzers ...*analysis.Analyzer) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(Run(os.Stdout, patterns, analyzers, *jsonFlag))
+	cfg.Baseline = *baselineFlag
+	cfg.WriteBaseline = *writeBaseline
+	cfg.BaselineStrict = *strictFlag
+	if *severityFlag != "" {
+		if cfg.Severities == nil {
+			cfg.Severities = make(map[string]string)
+		} else {
+			orig := cfg.Severities
+			cfg.Severities = make(map[string]string, len(orig))
+			for k, v := range orig {
+				cfg.Severities[k] = v
+			}
+		}
+		for _, kv := range strings.Split(*severityFlag, ",") {
+			name, level, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok || (level != "error" && level != "warn") {
+				fmt.Fprintf(os.Stderr, "ocdlint: bad -severity item %q (want name=error|warn)\n", kv)
+				os.Exit(1)
+			}
+			cfg.Severities[name] = level
+		}
+	}
+	os.Exit(RunWithConfig(os.Stdout, patterns, analyzers, *jsonFlag, cfg))
 }
 
 // Run loads the packages matching patterns and applies every analyzer,
 // printing diagnostics to w — as text lines, or as a JSON array when
-// asJSON is set. It returns the process exit code.
+// asJSON is set. It returns the process exit code. All analyzers run
+// at error severity with no baseline; use RunWithConfig for tiers.
 func Run(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	return RunWithConfig(w, patterns, analyzers, asJSON, Config{})
+}
+
+type diag struct {
+	pos      token.Position
+	relFile  string
+	msg      string
+	name     string
+	pkg      string
+	severity string
+}
+
+// RunWithConfig is Run with severity tiers and baseline handling.
+func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON bool, cfg Config) int {
 	pkgs, err := goloader.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ocdlint:", err)
 		return 1
 	}
+	base := moduleRoot()
 
-	type diag struct {
-		pos  token.Position
-		msg  string
-		name string
-	}
 	var diags []diag
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -85,8 +183,17 @@ func Run(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON 
 				TypesSizes: pkg.TypesSizes,
 				ResultOf:   make(map[*analysis.Analyzer]interface{}),
 			}
+			name, pkgPath := a.Name, pkg.ImportPath
 			pass.Report = func(d analysis.Diagnostic) {
-				diags = append(diags, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message, name: a.Name})
+				pos := pkg.Fset.Position(d.Pos)
+				diags = append(diags, diag{
+					pos:      pos,
+					relFile:  relativize(base, pos.Filename),
+					msg:      d.Message,
+					name:     name,
+					pkg:      pkgPath,
+					severity: severityOf(cfg.Severities, name),
+				})
 			}
 			if _, err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "ocdlint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
@@ -95,23 +202,86 @@ func Run(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON 
 		}
 	}
 
+	// Deterministic order: (package, file, line, col, analyzer, message).
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.relFile != b.relFile {
+			return a.relFile < b.relFile
 		}
 		if a.pos.Line != b.pos.Line {
 			return a.pos.Line < b.pos.Line
 		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
 		return a.msg < b.msg
 	})
-	if asJSON {
-		out := make([]JSONDiagnostic, 0, len(diags))
+
+	// Baseline handling applies to warn-tier findings only.
+	if cfg.Baseline != "" && cfg.WriteBaseline {
+		if err := writeBaselineFile(cfg.Baseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ocdlint: writing baseline:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ocdlint: wrote %s (%d warn-tier findings)\n", cfg.Baseline, countWarn(diags))
+	}
+
+	active := diags
+	staleCount := 0
+	if cfg.Baseline != "" && !cfg.WriteBaseline {
+		bl, err := readBaselineFile(cfg.Baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocdlint: reading baseline:", err)
+			return 1
+		}
+		budget := make(map[string]int, len(bl.Findings))
+		for _, e := range bl.Findings {
+			budget[e.key()]++
+		}
+		active = active[:0:0]
 		for _, d := range diags {
+			if d.severity == "warn" {
+				k := baselineEntry{Analyzer: d.name, File: d.relFile, Message: d.msg}.key()
+				if budget[k] > 0 {
+					budget[k]--
+					continue // excused by the baseline
+				}
+			}
+			active = append(active, d)
+		}
+		var stale []string
+		for k, n := range budget {
+			if n > 0 {
+				parts := strings.SplitN(k, "\x00", 3)
+				stale = append(stale, fmt.Sprintf("%s: %s: %s", parts[1], parts[2], parts[0]))
+				staleCount += n
+			}
+		}
+		sort.Strings(stale)
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "ocdlint: stale baseline entry (fixed or moved — run make lint-baseline): %s\n", s)
+		}
+	}
+
+	if asJSON {
+		out := make([]JSONDiagnostic, 0, len(active))
+		for _, d := range active {
+			posn := d.relFile
+			if d.pos.IsValid() {
+				posn = fmt.Sprintf("%s:%d:%d", d.relFile, d.pos.Line, d.pos.Column)
+			}
 			out = append(out, JSONDiagnostic{
 				Analyzer: d.name,
-				Posn:     d.pos.String(),
-				File:     d.pos.Filename,
+				Severity: d.severity,
+				Package:  d.pkg,
+				Posn:     posn,
+				File:     d.relFile,
 				Line:     d.pos.Line,
 				Col:      d.pos.Column,
 				Message:  d.msg,
@@ -124,14 +294,106 @@ func Run(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON 
 			return 1
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Fprintf(w, "%s: %s (%s)\n", d.pos, d.msg, d.name)
+		for _, d := range active {
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s (%s)\n", d.relFile, d.pos.Line, d.pos.Column, d.severity, d.msg, d.name)
 		}
 	}
-	if len(diags) > 0 {
+
+	blocking := 0
+	for _, d := range active {
+		if !cfg.WriteBaseline || d.severity != "warn" {
+			blocking++
+		}
+	}
+	if blocking > 0 || (cfg.BaselineStrict && staleCount > 0) {
 		return 3
 	}
 	return 0
+}
+
+func severityOf(sev map[string]string, name string) string {
+	if s, ok := sev[name]; ok {
+		return s
+	}
+	return "error"
+}
+
+func countWarn(diags []diag) int {
+	n := 0
+	for _, d := range diags {
+		if d.severity == "warn" {
+			n++
+		}
+	}
+	return n
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod
+// so relative paths are stable no matter which subdirectory the driver
+// runs from (production runs at the repo root, `go test` inside the
+// package directory).
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// relativize turns the loader's absolute file paths into module-root-
+// relative ones so JSON output and the committed baseline are portable
+// across checkouts.
+func relativize(base, file string) string {
+	if base == "" || !filepath.IsAbs(file) {
+		return file
+	}
+	rel, err := filepath.Rel(base, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+func readBaselineFile(path string) (baselineFile, error) {
+	var bl baselineFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return bl, nil // no baseline yet: nothing excused
+		}
+		return bl, err
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return bl, fmt.Errorf("%s: %v", path, err)
+	}
+	if bl.Version != 1 {
+		return bl, fmt.Errorf("%s: unsupported baseline version %d", path, bl.Version)
+	}
+	return bl, nil
+}
+
+func writeBaselineFile(path string, diags []diag) error {
+	bl := baselineFile{Version: 1}
+	for _, d := range diags {
+		if d.severity == "warn" {
+			bl.Findings = append(bl.Findings, baselineEntry{Analyzer: d.name, File: d.relFile, Message: d.msg})
+		}
+	}
+	sort.Slice(bl.Findings, func(i, j int) bool { return bl.Findings[i].key() < bl.Findings[j].key() })
+	data, err := json.MarshalIndent(bl, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func firstSentence(doc string) string {

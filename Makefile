@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json lint-baseline chaos resume-chaos fuzz bench bench-smoke check
+.PHONY: build test race lint lint-json lint-fix lint-fix-diff lint-baseline lint-timings chaos resume-chaos fuzz bench bench-smoke check
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ test:
 race:
 	go test -race ./...
 
-# lint runs go vet plus the full eleven-analyzer ocdlint suite
+# lint runs go vet plus the full twelve-analyzer ocdlint suite
 # (docs/LINTING.md). -baseline-strict also fails on stale entries in
 # lint.baseline.json, so the baseline can only shrink. lint-json emits
 # the findings as a JSON array for machine consumption; lint-baseline
@@ -24,8 +24,24 @@ lint:
 lint-json:
 	go run ./cmd/ocdlint -json ./...
 
+# lint-fix applies the machine-applicable suggested fixes (errdrop
+# error wrapping, mapdeterminism slices.Sort insertion, ctxflow stop
+# polls; docs/LINTING.md) in place; lint-fix-diff previews the same
+# edits as a unified diff without writing.
+lint-fix:
+	go run ./cmd/ocdlint -fix ./...
+
+lint-fix-diff:
+	go run ./cmd/ocdlint -fix -diff ./...
+
 lint-baseline:
 	go run ./cmd/ocdlint -write-baseline ./...
+
+# lint-timings refreshes the committed wall-time reference that CI
+# holds the suite to (fails beyond 2x total_millis; see check.yml).
+lint-timings:
+	go run ./cmd/ocdlint -json -timings ./... | \
+		jq '{timings: .timings, total_millis: .total_millis}' > lint.timings.json
 
 # chaos compiles in the fault-injection points (docs/ROBUSTNESS.md) and
 # drives the engine's failure paths: worker panics, injected cancels,

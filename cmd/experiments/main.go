@@ -64,7 +64,6 @@ func main() {
 	}
 
 	s := experiments.DefaultScale()
-	s.Ctx = ctx
 	s.Timeout = *timeout
 	s.LineItemRows = *liRows
 	s.DBTesmaRows = *dbRows
@@ -98,29 +97,29 @@ func main() {
 		switch name {
 		case "table6":
 			fmt.Println("== Table 6: datasets and execution statistics ==")
-			fmt.Print(experiments.FormatTable6(experiments.Table6(s, nil)))
+			fmt.Print(experiments.FormatTable6(experiments.Table6(ctx, s, nil)))
 		case "numbers":
 			fmt.Println("== Table 7 / §5.2: YES, NO and NUMBERS comparison ==")
 			fmt.Print(experiments.NumbersReport())
 		case "fig2":
 			fmt.Println("== Figure 2: row scalability ==")
-			for name, series := range experiments.Fig2RowScalability(s) {
+			for name, series := range experiments.Fig2RowScalability(ctx, s) {
 				fmt.Print(experiments.FormatSeries(name, "rows", series))
 				writeCSV("fig2_"+name+".csv", experiments.SeriesCSV("rows", series))
 			}
 		case "fig3":
 			fmt.Println("== Figure 3: column scalability, HEPATITIS ==")
-			series := experiments.ColScalability("HEPATITIS", s)
+			series := experiments.ColScalability(ctx, "HEPATITIS", s)
 			fmt.Print(experiments.FormatSeries("HEPATITIS", "cols", series))
 			writeCSV("fig3_hepatitis.csv", experiments.SeriesCSV("cols", series))
 		case "fig4":
 			fmt.Println("== Figure 4: column scalability, HORSE ==")
-			series := experiments.ColScalability("HORSE", s)
+			series := experiments.ColScalability(ctx, "HORSE", s)
 			fmt.Print(experiments.FormatSeries("HORSE", "cols", series))
 			writeCSV("fig4_horse.csv", experiments.SeriesCSV("cols", series))
 		case "fig5":
 			fmt.Println("== Figure 5: single-run column growth (quasi-constant jump) ==")
-			series := experiments.Fig5SingleRun(s)
+			series := experiments.Fig5SingleRun(ctx, s)
 			fmt.Print(experiments.FormatSeries("HORSE single run", "cols", series))
 			writeCSV("fig5_horse.csv", experiments.SeriesCSV("cols", series))
 			if *plot {
@@ -128,16 +127,16 @@ func main() {
 			}
 		case "fig6":
 			fmt.Println("== Figure 6 / Table 8: multithread scalability ==")
-			data := experiments.Fig6Threads(s)
+			data := experiments.Fig6Threads(ctx, s)
 			fmt.Print(experiments.FormatThreads(data))
 			writeCSV("fig6_threads.csv", experiments.ThreadsCSV(data))
 		case "ablation":
 			fmt.Println("== Ablations: design choices of DESIGN.md ==")
-			fmt.Print(experiments.FormatAblations(experiments.Ablations(s)))
+			fmt.Print(experiments.FormatAblations(experiments.Ablations(ctx, s)))
 		case "fig7":
 			fmt.Println("== Figure 7: entropy-ordered column addition, FLIGHT ==")
 			fmt.Println("   (the deps column is 1 on the final, timed-out sample)")
-			series := experiments.Fig7EntropyOrdered(s, 0)
+			series := experiments.Fig7EntropyOrdered(ctx, s, 0)
 			fmt.Print(experiments.FormatSeries("FLIGHT_1K by entropy", "cols", series))
 			writeCSV("fig7_flight.csv", experiments.SeriesCSV("cols", series))
 			if *plot {

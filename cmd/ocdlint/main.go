@@ -18,13 +18,23 @@
 //	mapdeterminism — map-iteration order must not reach returned
 //	                 slices, stream output, checkpoints or channels
 //	                 without a sort
+//	goroutineleak  — spawned goroutines must have a provable exit:
+//	                 a stop poll, context check, closed-channel
+//	                 receive, or a WaitGroup the spawner joins
 //	ctxflow        — context discipline: ctx first parameter, never
 //	                 stored in structs; lint:hot loops poll a stop
 //	                 signal (warn tier)
 //
+// errdrop, sharedwrite, mapdeterminism and goroutineleak are
+// interprocedural: they export per-function summaries (call-graph
+// facts, see internal/analysis/cfgutil) that the driver carries across
+// packages in dependency order, so a helper two packages away that
+// ignores its error parameter, emits its argument, or loops forever is
+// judged at the call site.
+//
 // Usage:
 //
-//	go run ./cmd/ocdlint [-json] [-baseline file] [-write-baseline] [-baseline-strict] ./...
+//	go run ./cmd/ocdlint [-json] [-list] [-fix [-diff]] [-timings] [-baseline file] [-write-baseline] [-baseline-strict] ./...
 //
 // Exit status is 0 when the tree is clean, 3 when any analyzer
 // reported a blocking diagnostic, and 1 on a driver error. Analyzers
@@ -34,7 +44,10 @@
 // ones do. With -json the active diagnostics are emitted as a JSON
 // array sorted by (package, file, line, col, analyzer, message) — see
 // docs/LINTING.md for the schema, the baseline workflow, and the CI
-// annotation pipeline. Suppress a deliberate finding with a
+// annotation pipeline. -list prints the analyzer catalogue with
+// severity tiers; -fix applies the machine-applicable suggested fixes
+// (-fix -diff previews them as a unified diff); -timings reports
+// per-analyzer wall time. Suppress a deliberate finding with a
 // "// lint:allow <analyzer>" comment — several checks may share one
 // marker, comma-separated — on or above the offending line.
 package main
@@ -46,6 +59,7 @@ import (
 	"ocd/internal/analysis/atomicfield"
 	"ocd/internal/analysis/ctxflow"
 	"ocd/internal/analysis/errdrop"
+	"ocd/internal/analysis/goroutineleak"
 	"ocd/internal/analysis/hotloopalloc"
 	"ocd/internal/analysis/listalias"
 	"ocd/internal/analysis/lockbalance"
@@ -69,6 +83,7 @@ var analyzers = []*analysis.Analyzer{
 	errdrop.Analyzer,
 	sharedwrite.Analyzer,
 	mapdeterminism.Analyzer,
+	goroutineleak.Analyzer,
 	ctxflow.Analyzer,
 }
 
@@ -86,6 +101,7 @@ var severities = map[string]string{
 	errdrop.Analyzer.Name:        "error",
 	sharedwrite.Analyzer.Name:    "error",
 	mapdeterminism.Analyzer.Name: "error",
+	goroutineleak.Analyzer.Name:  "error",
 	ctxflow.Analyzer.Name:        "warn",
 }
 

@@ -137,6 +137,23 @@ func TransferLockNode(info *types.Info, n ast.Node, st LockState) {
 			if op.Method == "Unlock" || op.Method == "RUnlock" {
 				st.Arm(LockOpKey(op))
 			}
+			return
+		}
+		// A deferred closure that unlocks — `defer func() { …;
+		// mu.Unlock() }()` — arms the same way: its unlocks run at
+		// return. Closures nested inside it are their own flow.
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			WalkNodeSkipFuncLit(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := MutexOp(info, call); ok && (op.Method == "Unlock" || op.Method == "RUnlock") {
+					st.Arm(LockOpKey(op))
+					return false
+				}
+				return true
+			})
 		}
 		return
 	}

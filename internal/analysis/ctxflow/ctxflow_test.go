@@ -11,3 +11,10 @@ import (
 func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "c")
 }
+
+// TestCtxFlowSuggestedFixes pins the -fix rewrite: a silent hot loop
+// gains a ctx.Err() poll at the top of its body, and loops in
+// functions with results are diagnosed but left untouched.
+func TestCtxFlowSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), ctxflow.Analyzer, "cfix")
+}

@@ -1,0 +1,30 @@
+// Fixture for the ctxflow -fix rewrite: a silent hot loop in a
+// function with a named context parameter and no results gains an
+// `if ctx.Err() != nil { return }` poll at the top of its body
+// (cfix.go.golden pins the result).
+package cfix
+
+import "context"
+
+// drain is hot and never polls; the fix inserts the Err check.
+//
+// lint:hot
+func drain(ctx context.Context, vals []int) {
+	for _, v := range vals { // want `hot loop never polls a stop signal`
+		sink(v)
+	}
+}
+
+// total has results, so the bare-return fix cannot be offered; the
+// diagnostic still fires and the function is left unchanged.
+//
+// lint:hot
+func total(ctx context.Context, vals []int) int {
+	t := 0
+	for _, v := range vals { // want `hot loop never polls a stop signal`
+		t += v
+	}
+	return t
+}
+
+func sink(int) {}

@@ -19,11 +19,22 @@
 //
 // Shape 3 is the one an AST pattern cannot see: `err` checked in the
 // happy path but leaked by an early return three statements later.
+//
+// The check is summary-aware: passing an error to a module-local
+// function whose summary (cfgutil.FuncFact) says the parameter is
+// never read does not count as a use — `discard(err)` launders nothing
+// even when discard lives two packages away. For a bare dropped call
+// whose enclosing function returns exactly one error, the diagnostic
+// carries a machine-applicable fix wrapping the call in
+// `if err := …; err != nil { return err }` (applied by ocdlint -fix).
 // Suppress a deliberate site with // lint:allow errdrop.
 package errdrop
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
 	"go/token"
 	"go/types"
 	"strings"
@@ -37,15 +48,17 @@ import (
 
 // Analyzer is the errdrop analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "errdrop",
-	Doc:  "flags module-local error results that are discarded or never checked on some path (suppress with // lint:allow errdrop)",
-	Run:  run,
+	Name:      "errdrop",
+	Doc:       "flags module-local error results that are discarded or never checked on some path (suppress with // lint:allow errdrop)",
+	FactTypes: cfgutil.FactTypes,
+	Run:       run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if lintutil.ExemptPath(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	sum := cfgutil.ComputeSummaries(pass)
 	modPrefix := modulePrefix(pass.Pkg.Path())
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
@@ -53,7 +66,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		allow := lintutil.NewAllower(pass.Fset, file)
 		for _, fb := range cfgutil.Bodies(file) {
-			checkFunc(pass, allow, modPrefix, fb.Body)
+			checkFunc(pass, allow, modPrefix, sum, fb)
 		}
 	}
 	return nil, nil
@@ -69,13 +82,19 @@ func modulePrefix(pkgPath string) string {
 	return pkgPath
 }
 
-func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, modPrefix string, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, modPrefix string, sum *cfgutil.Summaries, fb cfgutil.FuncBody) {
 	info := pass.TypesInfo
+	body := fb.Body
 	var g *cfg.CFG // built lazily: most functions have no flagged defs
+	discarded := discardedArgs(info, sum, body)
 
-	report := func(pos token.Pos, format string, args ...interface{}) {
+	report := func(pos token.Pos, fixes []analysis.SuggestedFix, format string, args ...interface{}) {
 		if !allow.Allows(pos, "errdrop") {
-			pass.Reportf(pos, format, args...)
+			pass.Report(analysis.Diagnostic{
+				Pos:            pos,
+				Message:        fmt.Sprintf(format, args...),
+				SuggestedFixes: fixes,
+			})
 		}
 	}
 
@@ -90,7 +109,7 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, modPrefix string, b
 			if !ok {
 				return true
 			}
-			report(call.Pos(), "error result of %s is dropped: handle it or assign it (// lint:allow errdrop to suppress)", name)
+			report(call.Pos(), wrapFix(pass, fb.Type, n, call), "error result of %s is dropped: handle it or assign it (// lint:allow errdrop to suppress)", name)
 			return true
 
 		case *ast.AssignStmt:
@@ -106,7 +125,7 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, modPrefix string, b
 					if !ok {
 						continue
 					}
-					checkBinding(pass, report, info, &g, body, n, n.Lhs[i], call.Pos(), name)
+					checkBinding(pass, report, info, &g, body, discarded, n, n.Lhs[i], call.Pos(), name)
 				}
 				return true
 			}
@@ -123,22 +142,94 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, modPrefix string, b
 			if len(n.Lhs) == 0 {
 				return true
 			}
-			checkBinding(pass, report, info, &g, body, n, n.Lhs[len(n.Lhs)-1], call.Pos(), name)
+			checkBinding(pass, report, info, &g, body, discarded, n, n.Lhs[len(n.Lhs)-1], call.Pos(), name)
 		}
 		return true
 	})
 }
 
+// discardedArgs collects the identifiers passed as arguments to
+// module-local callees whose summaries prove the parameter is never
+// read. Such a pass does not count as a use of the error.
+func discardedArgs(info *types.Info, sum *cfgutil.Summaries, body *ast.BlockStmt) map[*ast.Ident]bool {
+	var out map[*ast.Ident]bool
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ff, fn, ok := sum.ForCall(call)
+		if !ok || ff.IgnoredParams == 0 {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Variadic() {
+			return true // variadic shifts indices; stay conservative
+		}
+		for j, arg := range call.Args {
+			if j >= 32 || j >= sig.Params().Len() {
+				break
+			}
+			if ff.IgnoredParams&(1<<uint(j)) == 0 {
+				continue
+			}
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if out == nil {
+					out = make(map[*ast.Ident]bool)
+				}
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// wrapFix builds the machine-applicable rewrite of a bare dropped call
+// into `if err := call; err != nil { return err }`. It is offered only
+// when the enclosing function returns exactly one value of type error —
+// the one signature where the generated return is always well-typed.
+func wrapFix(pass *analysis.Pass, ftype *ast.FuncType, stmt *ast.ExprStmt, call *ast.CallExpr) []analysis.SuggestedFix {
+	if ftype == nil || ftype.Results == nil || len(ftype.Results.List) != 1 {
+		return nil
+	}
+	res := ftype.Results.List[0]
+	if len(res.Names) > 1 {
+		return nil
+	}
+	t := pass.TypesInfo.Types[res.Type].Type
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, call); err != nil {
+		return nil
+	}
+	// Indentation is reconstructed from the statement's column; the
+	// tree is gofmt-formatted, so columns count tabs.
+	indent := strings.Repeat("\t", pass.Fset.Position(stmt.Pos()).Column-1)
+	newText := "if err := " + buf.String() + "; err != nil {\n" + indent + "\treturn err\n" + indent + "}"
+	return []analysis.SuggestedFix{{
+		Message: "check the error and return it",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     stmt.Pos(),
+			End:     stmt.End(),
+			NewText: []byte(newText),
+		}},
+	}}
+}
+
 // checkBinding inspects the expression lhs that receives an error
 // result: blank discards are reported outright; plain variables get
 // the must-use dataflow.
-func checkBinding(pass *analysis.Pass, report func(token.Pos, string, ...interface{}), info *types.Info, g **cfg.CFG, body *ast.BlockStmt, assign *ast.AssignStmt, lhs ast.Expr, pos token.Pos, name string) {
+func checkBinding(pass *analysis.Pass, report func(token.Pos, []analysis.SuggestedFix, string, ...interface{}), info *types.Info, g **cfg.CFG, body *ast.BlockStmt, discarded map[*ast.Ident]bool, assign *ast.AssignStmt, lhs ast.Expr, pos token.Pos, name string) {
 	id, ok := ast.Unparen(lhs).(*ast.Ident)
 	if !ok {
 		return // stored through a selector/index: visible elsewhere, assume used
 	}
 	if id.Name == "_" {
-		report(pos, "error result of %s is discarded (assigned to _): handle it or justify with // lint:allow errdrop", name)
+		report(pos, nil, "error result of %s is discarded (assigned to _): handle it or justify with // lint:allow errdrop", name)
 		return
 	}
 	obj := info.Defs[id]
@@ -152,12 +243,12 @@ func checkBinding(pass *analysis.Pass, report func(token.Pos, string, ...interfa
 	if *g == nil {
 		*g = cfgutil.New(body, info)
 	}
-	if p, bad := uncheckedPath(*g, info, assign, v); bad {
+	if p, bad := uncheckedPath(*g, info, discarded, assign, v); bad {
 		where := ""
 		if p.IsValid() {
 			where = " (path escaping at " + pass.Fset.Position(p).String() + ")"
 		}
-		report(pos, "error result of %s may be ignored: %s is not checked on every path before being overwritten or going out of scope%s", name, id.Name, where)
+		report(pos, nil, "error result of %s may be ignored: %s is not checked on every path before being overwritten or going out of scope%s", name, id.Name, where)
 	}
 }
 
@@ -199,7 +290,7 @@ func moduleErrCall(info *types.Info, modPrefix string, pkg *types.Package, call 
 // function exits normally before any read of v? It returns the
 // position where the bad path escapes (the redefinition, or NoPos for
 // a fall-off exit) and whether such a path exists.
-func uncheckedPath(g *cfg.CFG, info *types.Info, assign *ast.AssignStmt, v *types.Var) (token.Pos, bool) {
+func uncheckedPath(g *cfg.CFG, info *types.Info, discarded map[*ast.Ident]bool, assign *ast.AssignStmt, v *types.Var) (token.Pos, bool) {
 	// Locate the assign node's block and index.
 	var home *cfg.Block
 	homeIdx := -1
@@ -233,7 +324,7 @@ func uncheckedPath(g *cfg.CFG, info *types.Info, assign *ast.AssignStmt, v *type
 		stack = stack[:len(stack)-1]
 		resolved := false
 		for i := vis.from; i < len(vis.b.Nodes) && !resolved; i++ {
-			switch use := scanNode(info, vis.b.Nodes[i], v); use {
+			switch use := scanNode(info, discarded, vis.b.Nodes[i], v); use {
 			case useRead:
 				resolved = true // this path checks the error
 			case useWrite:
@@ -278,8 +369,10 @@ const (
 // scanNode classifies the first relevant appearance of v inside node
 // n: a read (any use outside an assignment LHS — comparisons, returns,
 // arguments, captures by a closure) or a write (plain reassignment).
-// Reads win: `err = wrap(err)` consumes the old value.
-func scanNode(info *types.Info, n ast.Node, v *types.Var) useKind {
+// Reads win: `err = wrap(err)` consumes the old value. An ident in the
+// discarded set — passed to a callee that provably never reads that
+// parameter — is neither: the path continues unresolved past it.
+func scanNode(info *types.Info, discarded map[*ast.Ident]bool, n ast.Node, v *types.Var) useKind {
 	kind := useNone
 	// Writes: idents in assignment LHS positions.
 	writes := make(map[*ast.Ident]bool)
@@ -313,6 +406,9 @@ func scanNode(info *types.Info, n ast.Node, v *types.Var) useKind {
 				kind = useWrite
 			}
 			return true
+		}
+		if discarded[id] {
+			return true // laundered into a never-read parameter
 		}
 		kind = useRead
 		return false

@@ -1,0 +1,20 @@
+// Fixture for the errdrop -fix rewrite: a bare dropped call inside a
+// function returning exactly one error gains an if-wrap; any other
+// signature offers no machine fix (fixes.go.golden pins both).
+package fixes
+
+func compute() error { return nil }
+
+func wrapped() error {
+	compute() // want `error result of compute is dropped`
+	return nil
+}
+
+func noFixTwoResults() (int, error) {
+	compute() // want `error result of compute is dropped`
+	return 0, nil
+}
+
+func noFixNoResults() {
+	compute() // want `error result of compute is dropped`
+}

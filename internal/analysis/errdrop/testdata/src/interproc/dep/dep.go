@@ -1,0 +1,14 @@
+// Package dep provides the summary-carrying helpers for the interproc
+// fixtures: Discard never reads its parameter (IgnoredParams bit 0),
+// Log does.
+package dep
+
+// Discard ignores its error parameter entirely.
+func Discard(err error) {}
+
+// Log reads its parameter.
+func Log(err error) {
+	if err != nil {
+		println("error:", err.Error())
+	}
+}

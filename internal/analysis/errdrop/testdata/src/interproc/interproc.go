@@ -1,0 +1,31 @@
+// Cross-package fixtures for the summary-aware errdrop pass: whether a
+// pass-through call counts as a use of the error is decided by the
+// callee's cfgutil.FuncFact summary, which lives in another package.
+package interproc
+
+import "interproc/dep"
+
+func compute() error { return nil }
+
+// LeakViaDiscard hands the error to dep.Discard, whose summary proves
+// the parameter is never read: not a use, so the error falls off the
+// end unchecked.
+func LeakViaDiscard() {
+	err := compute() // want `error result of compute may be ignored`
+	dep.Discard(err)
+}
+
+// OKViaLog hands the error to dep.Log, which reads it: a real use.
+func OKViaLog() {
+	err := compute()
+	dep.Log(err)
+}
+
+// OKChecked handles the error inline; the later Discard is irrelevant.
+func OKChecked() {
+	err := compute()
+	if err != nil {
+		return
+	}
+	dep.Discard(err)
+}

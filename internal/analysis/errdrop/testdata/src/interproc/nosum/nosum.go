@@ -1,0 +1,15 @@
+// The same leak as interproc.LeakViaDiscard, checked with
+// cfgutil.DisableSummaries set: without dep.Discard's summary the pass
+// must treat the call as a use, so no diagnostic fires here — which is
+// exactly what this fixture pins (no want comments).
+package nosum
+
+import "interproc/dep"
+
+func compute() error { return nil }
+
+// LeakViaDiscard is missed by the purely intra-procedural pass.
+func LeakViaDiscard() {
+	err := compute()
+	dep.Discard(err)
+}

@@ -1,0 +1,161 @@
+// Package goroutineleak flags spawned goroutines with no provable
+// exit. The discovery engine spins up worker pools per level and
+// background services (progress sinks, checkpoint writers) per run; a
+// goroutine that outlives its run pins its captured state — partition
+// caches, row buffers — for the life of the process, and enough of
+// them pin the scheduler too. The rule: every `go` statement must
+// reach one of the accepted exit proofs.
+//
+// A goroutine is flagged when its body — the spawned literal, or the
+// summary (cfgutil.FuncFact) of a module-local named target — contains
+// an infinite `for { … }` with no way out: no return, break or goto,
+// no terminating call, and none of the loop-shaped exits below. The
+// judgment is deliberately under-approximate, so any escape hatch
+// acquits:
+//
+//   - a stop-flag poll or context check that leads to a return/break
+//     (any return inside the loop counts as a way out);
+//   - a closed-channel receive in the comma-ok form, or a
+//     `for range ch` loop (both end when the channel closes);
+//   - a select with a returning case.
+//
+// A literal that calls wg.Done on a WaitGroup the spawner Waits on is
+// excused even when the loop verdict holds: the spawner's Wait makes a
+// stuck goroutine a visible hang at the join point, not a silent leak.
+// Calls that cannot be resolved (external packages, interface methods,
+// function values — `go srv.Serve(ln)`) are accepted: no evidence, no
+// finding. Wrappers are seen through: spawning a module-local function
+// whose summary says it loops forever — directly or transitively — is
+// flagged at the go statement. Suppress a deliberate site with
+// // lint:allow goroutineleak.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ocd/internal/analysis/cfgutil"
+	"ocd/internal/analysis/lintutil"
+)
+
+// Analyzer is the goroutineleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroutineleak",
+	Doc:       "flags spawned goroutines with no provable exit: an inescapable infinite loop not excused by a matching WaitGroup join (suppress with // lint:allow goroutineleak)",
+	FactTypes: cfgutil.FactTypes,
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.ExemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sum := cfgutil.ComputeSummaries(pass)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		allow := lintutil.NewAllower(pass.Fset, file)
+		for _, fb := range cfgutil.Bodies(file) {
+			checkBody(pass, allow, sum, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody examines the go statements at one body's nesting level;
+// spawns inside nested literals are judged with their own enclosing
+// body, so each sees the Wait calls that can actually order it.
+func checkBody(pass *analysis.Pass, allow *lintutil.Allower, sum *cfgutil.Summaries, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	waits := waitKeys(info, body)
+
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		if !allow.Allows(pos.Pos(), "goroutineleak") {
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+	}
+
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			if !litLeaks(info, sum, lit) {
+				return true
+			}
+			for key := range doneKeys(info, lit) {
+				if waits[key] {
+					return true // the spawner joins this goroutine
+				}
+			}
+			report(g, "goroutine has no provable exit: its loop never returns, breaks, polls a stop signal, or detects channel closure, and no Wait joins it; add an exit condition or a matching WaitGroup (// lint:allow goroutineleak to suppress)")
+			return true
+		}
+		if ff, fn, ok := sum.ForCall(g.Call); ok && ff.LoopsForever {
+			report(g, "goroutine has no provable exit: %s loops forever with no return, break, stop poll, or closure detection on any path; add an exit condition to it (// lint:allow goroutineleak to suppress)", fn.Name())
+		}
+		return true
+	})
+}
+
+// litLeaks reports whether the spawned literal provably never exits:
+// an inescapable infinite loop in its own body, or an unconditional
+// call to a module-local function whose summary loops forever.
+func litLeaks(info *types.Info, sum *cfgutil.Summaries, lit *ast.FuncLit) bool {
+	if cfgutil.LoopsForeverIn(info, lit.Body) {
+		return true
+	}
+	leaks := false
+	cfgutil.WalkNodeSkipFuncLit(lit.Body, func(n ast.Node) bool {
+		if leaks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested spawn is its own subject; its target looping
+			// forever does not block this goroutine.
+			return false
+		case *ast.CallExpr:
+			if ff, _, ok := sum.ForCall(n); ok && ff.LoopsForever {
+				leaks = true
+				return false
+			}
+		}
+		return true
+	})
+	return leaks
+}
+
+// doneKeys returns the WaitGroup keys the literal calls Done on,
+// anywhere in its subtree.
+func doneKeys(info *types.Info, lit *ast.FuncLit) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Done" {
+				out[op.Key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waitKeys returns the WaitGroup keys the body calls Wait on at its
+// own nesting level.
+func waitKeys(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := cfgutil.WaitGroupOp(info, call); ok && op.Method == "Wait" {
+				out[op.Key] = true
+			}
+		}
+		return true
+	})
+	return out
+}

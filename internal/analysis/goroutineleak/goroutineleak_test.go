@@ -1,0 +1,26 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/cfgutil"
+	"ocd/internal/analysis/goroutineleak"
+)
+
+// TestGoroutineLeak covers the seeded leaks (literal, same-package
+// wrapper, cross-package wrapper) and every accepted exit proof.
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutineleak.Analyzer, "g")
+}
+
+// TestGoroutineLeakMissedWithoutSummaries proves the wrapper leaks are
+// invisible to the purely intra-procedural pass: with summaries
+// disabled, spawning a forever-looping named function produces no
+// diagnostic.
+func TestGoroutineLeakMissedWithoutSummaries(t *testing.T) {
+	cfgutil.DisableSummaries = true
+	defer func() { cfgutil.DisableSummaries = false }()
+	analysistest.Run(t, analysistest.TestData(), goroutineleak.Analyzer, "g/nosum")
+}

@@ -1,0 +1,16 @@
+// Package dep supplies a cross-package forever-loop whose verdict
+// reaches the spawning package only through its exported summary.
+package dep
+
+// Forever never returns.
+func Forever() {
+	for {
+	}
+}
+
+// Bounded returns after a fixed amount of work.
+func Bounded() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,126 @@
+// Fixtures for the goroutineleak analyzer: seeded leaks (bare
+// literals, same-package wrappers, cross-package wrappers) and the
+// accepted exit proofs (stop polls, context checks, channel closure,
+// WaitGroup joins, unresolvable targets, explicit allows).
+package g
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"g/dep"
+)
+
+// LeakLiteral spawns an inescapable infinite loop.
+func LeakLiteral() {
+	go func() { // want `goroutine has no provable exit: its loop never returns, breaks, polls a stop signal, or detects channel closure, and no Wait joins it`
+		for {
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// LeakViaWrapper spawns a same-package function whose summary loops
+// forever.
+func LeakViaWrapper() {
+	go spin() // want `goroutine has no provable exit: spin loops forever with no return, break, stop poll, or closure detection on any path`
+}
+
+// LeakViaDep spawns a cross-package function: the forever verdict
+// arrives through dep's exported summary.
+func LeakViaDep() {
+	go dep.Forever() // want `goroutine has no provable exit: Forever loops forever with no return, break, stop poll, or closure detection on any path`
+}
+
+// LeakViaCallInLiteral wraps the looping callee in a literal: the
+// unconditional call to a forever-looping summary leaks too.
+func LeakViaCallInLiteral() {
+	go func() { // want `goroutine has no provable exit: its loop never returns, breaks, polls a stop signal, or detects channel closure, and no Wait joins it`
+		dep.Forever()
+	}()
+}
+
+// StopPoll exits when the flag flips: accepted.
+func StopPoll(stop *atomic.Bool) {
+	go func() {
+		for {
+			if stop.Load() {
+				return
+			}
+		}
+	}()
+}
+
+// CtxDone exits on context cancellation: accepted.
+func CtxDone(ctx context.Context, work <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeChan ends when the channel closes: accepted.
+func RangeChan(ch <-chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// CommaOK detects closure explicitly: accepted.
+func CommaOK(ch <-chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// WaitJoined loops forever but Done/Wait makes a stuck goroutine a
+// visible hang at the join, not a silent leak: accepted.
+func WaitJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+		}
+	}()
+	wg.Wait()
+}
+
+// server's method is an interface call the summaries cannot resolve.
+type server interface {
+	Serve() error
+}
+
+// External spawns an unresolvable target: no evidence, no finding.
+func External(srv server) {
+	go srv.Serve()
+}
+
+// BoundedDep spawns a summarized callee that terminates: accepted.
+func BoundedDep() {
+	go dep.Bounded()
+}
+
+// Allowed is a deliberate leak, suppressed at the site.
+func Allowed() {
+	go spin() // lint:allow goroutineleak — intentional spinner for this fixture
+}

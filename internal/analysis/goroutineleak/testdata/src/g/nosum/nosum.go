@@ -1,0 +1,23 @@
+// The wrapper-leak shapes from the g fixtures, checked with
+// cfgutil.DisableSummaries set: without summaries the analyzer cannot
+// see through `go spin()` or the literal's call to a forever-looping
+// callee, so no diagnostic fires here (no want comments). Only the
+// bare-literal leak survives, and this file deliberately has none.
+package nosum
+
+func spin() {
+	for {
+	}
+}
+
+// LeakViaWrapper is missed without spin's LoopsForever summary.
+func LeakViaWrapper() {
+	go spin()
+}
+
+// LeakViaCallInLiteral is missed without the callee summary.
+func LeakViaCallInLiteral() {
+	go func() {
+		spin()
+	}()
+}

@@ -21,16 +21,24 @@
 //
 // An escape is laundered — and exempt — when a later call re-orders
 // the data: any sort.* call, a slices.Sort* call, or a call to a
-// same-package function whose doc comment carries the lint:sorted
-// marker (a promise that it places its argument's or receiver's
-// elements into a canonical order), mentioning the same accumulator.
+// function whose doc comment carries the lint:sorted marker (a promise
+// that it places its argument's or receiver's elements into a
+// canonical order), mentioning the same accumulator. The lint:sorted
+// and emit judgments are summary-aware (cfgutil.FuncFact), so both
+// work across package boundaries: a helper in another module package
+// that sorts — or emits — its argument is honored, and a call whose
+// summary marks its results map-ordered (`keys := maputil.Keys(m)`)
+// taints the receiving local exactly like an inline range-append.
 // Emissions that do not mention the iteration variables (e.g. counting
 // elements, or copying into another map, whose JSON encoding sorts
-// keys) are order-insensitive and never flagged. Suppress a deliberate
-// site with // lint:allow mapdeterminism.
+// keys) are order-insensitive and never flagged. Findings on plain
+// ordered-element slices carry a machine-applicable fix inserting a
+// slices.Sort call after the loop (applied by ocdlint -fix). Suppress
+// a deliberate site with // lint:allow mapdeterminism.
 package mapdeterminism
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -44,15 +52,17 @@ import (
 
 // Analyzer is the mapdeterminism analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "mapdeterminism",
-	Doc:  "flags map-iteration order escaping into returned slices, stream output, checkpoints or channels without a sort (suppress with // lint:allow mapdeterminism)",
-	Run:  run,
+	Name:      "mapdeterminism",
+	Doc:       "flags map-iteration order escaping into returned slices, stream output, checkpoints or channels without a sort (suppress with // lint:allow mapdeterminism)",
+	FactTypes: cfgutil.FactTypes,
+	Run:       run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if lintutil.ExemptPath(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	sum := cfgutil.ComputeSummaries(pass)
 	sorted := sortedFuncs(pass)
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
@@ -64,13 +74,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkScope(pass, allow, sorted, fd.Body, fd.Recv, fd.Type)
+			checkScope(pass, allow, sorted, sum, file, fd.Body, fd.Recv, fd.Type)
 			// Nested literals are separate scopes with their own
 			// returns; an accumulator shared with the enclosing
 			// function is judged in the literal's scope only.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
-					checkScope(pass, allow, sorted, lit.Body, nil, lit.Type)
+					checkScope(pass, allow, sorted, sum, file, lit.Body, nil, lit.Type)
 				}
 				return true
 			})
@@ -94,16 +104,19 @@ func sortedFuncs(pass *analysis.Pass) map[types.Object]bool {
 	return out
 }
 
-// escape is one order-dependent append recorded inside a map range.
+// escape is one order-dependent append recorded inside a map range, or
+// a local receiving a call result the callee's summary marks tainted.
 type escape struct {
 	pos      token.Pos    // the append call, where the finding anchors
 	root     types.Object // accumulator root (local, result, or receiver)
 	returned bool         // root is already known to escape to the caller
 	rangeEnd token.Pos    // laundering must happen after the loop
+	loopPos  token.Pos    // start of the tainting statement, for fix indentation
 	display  string
+	via      string // callee name when the taint arrived through a call summary
 }
 
-func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.Object]bool, body *ast.BlockStmt, recv *ast.FieldList, ftype *ast.FuncType) {
+func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.Object]bool, sum *cfgutil.Summaries, file *ast.File, body *ast.BlockStmt, recv *ast.FieldList, ftype *ast.FuncType) {
 	info := pass.TypesInfo
 
 	// Roots visible to the caller: the receiver, named results, and
@@ -140,9 +153,13 @@ func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.O
 		return true
 	})
 
-	report := func(pos token.Pos, format string, args ...interface{}) {
+	report := func(pos token.Pos, fixes []analysis.SuggestedFix, format string, args ...interface{}) {
 		if !allow.Allows(pos, "mapdeterminism") {
-			pass.Reportf(pos, format, args...)
+			pass.Report(analysis.Diagnostic{
+				Pos:            pos,
+				Message:        fmt.Sprintf(format, args...),
+				SuggestedFixes: fixes,
+			})
 		}
 	}
 
@@ -162,11 +179,24 @@ func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.O
 				}
 			case *ast.SendStmt:
 				if mentionsAny(info, m.Value, iterVars) {
-					report(m.Pos(), "map-iteration order escapes into a channel send: receivers observe a different order every run; collect and sort before sending (// lint:allow mapdeterminism to suppress)")
+					report(m.Pos(), nil, "map-iteration order escapes into a channel send: receivers observe a different order every run; collect and sort before sending (// lint:allow mapdeterminism to suppress)")
 				}
 			case *ast.CallExpr:
 				if what, ok := emitSink(info, m); ok && callMentionsAny(info, m, iterVars) {
-					report(m.Pos(), "map-iteration order escapes into %s: output differs between runs; collect the entries, sort, then emit (// lint:allow mapdeterminism to suppress)", what)
+					report(m.Pos(), nil, "map-iteration order escapes into %s: output differs between runs; collect the entries, sort, then emit (// lint:allow mapdeterminism to suppress)", what)
+				}
+				// A summary-emitting callee is the same sink one call
+				// away: the helper prints or sends what we pass it.
+				if ff, fn, ok := sum.ForCall(m); ok && ff.EmitParams != 0 {
+					for j, arg := range m.Args {
+						if j >= 32 {
+							break
+						}
+						if ff.EmitParams&(1<<uint(j)) != 0 && mentionsAny(info, arg, iterVars) {
+							report(m.Pos(), nil, "map-iteration order escapes into %s, which emits its argument: output differs between runs; collect the entries, sort, then emit (// lint:allow mapdeterminism to suppress)", fn.Name())
+							break
+						}
+					}
 				}
 			case *ast.AssignStmt:
 				for i, rhs := range m.Rhs {
@@ -186,6 +216,7 @@ func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.O
 						root:     root,
 						returned: returned[root],
 						rangeEnd: rng.End(),
+						loopPos:  rng.Pos(),
 						display:  types.ExprString(m.Lhs[i]),
 					})
 				}
@@ -204,22 +235,129 @@ func checkScope(pass *analysis.Pass, allow *lintutil.Allower, sorted map[types.O
 		return true
 	})
 
+	// A call whose summary marks a result map-ordered taints the local
+	// receiving it: `keys := maputil.Keys(m)` two packages away is the
+	// same escape as an inline range-append.
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ff, fn, ok := sum.ForCall(call)
+		if !ok || ff.TaintedReturns == 0 {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= 32 || ff.TaintedReturns&(1<<uint(i)) == 0 {
+				continue
+			}
+			root := cfgutil.RootObject(info, lhs)
+			if root == nil {
+				continue
+			}
+			escapes = append(escapes, escape{
+				pos:      call.Pos(),
+				root:     root,
+				returned: returned[root],
+				rangeEnd: as.End(),
+				loopPos:  as.Pos(),
+				display:  types.ExprString(lhs),
+				via:      fn.Name(),
+			})
+		}
+		return true
+	})
+
 	for _, esc := range escapes {
-		if launderedAfter(info, sorted, body, esc.root, esc.rangeEnd) {
+		if launderedAfter(info, sorted, sum, body, esc.root, esc.rangeEnd) {
 			continue
 		}
+		lead := esc.display + " is appended in map-iteration order"
+		if esc.via != "" {
+			lead = esc.display + " receives map-iteration-ordered elements from " + esc.via
+		}
 		if esc.returned {
-			report(esc.pos, "%s is appended in map-iteration order and escapes to the caller: element order differs between runs; sort it after the loop or route it through a lint:sorted helper (// lint:allow mapdeterminism to suppress)", esc.display)
+			report(esc.pos, sortFix(pass, file, esc), "%s and escapes to the caller: element order differs between runs; sort it after the loop or route it through a lint:sorted helper (// lint:allow mapdeterminism to suppress)", lead)
 			continue
 		}
 		// One hop: the accumulator is a plain local — flag only if it
 		// later reaches a return, an emitter, a channel, or a returned
 		// root.
-		if hop := localFlowsOut(info, body, returned, esc); hop != "" {
-			report(esc.pos, "%s is appended in map-iteration order and later %s without sorting: order differs between runs; sort it after the loop or route it through a lint:sorted helper (// lint:allow mapdeterminism to suppress)", esc.display, hop)
+		if hop := localFlowsOut(info, sum, body, returned, esc); hop != "" {
+			report(esc.pos, sortFix(pass, file, esc), "%s and later %s without sorting: order differs between runs; sort it after the loop or route it through a lint:sorted helper (// lint:allow mapdeterminism to suppress)", lead, hop)
 		}
 	}
-	return
+}
+
+// sortFix builds the machine-applicable remediation: insert a
+// `slices.Sort(acc)` immediately after the tainting loop or call
+// (plus the "slices" import when missing). Offered only for a plain
+// identifier accumulator whose element type is ordered — the shape
+// where the inserted call is always well-typed.
+func sortFix(pass *analysis.Pass, file *ast.File, esc escape) []analysis.SuggestedFix {
+	if esc.display != esc.root.Name() {
+		return nil // selector/index accumulators need a hand-written sort
+	}
+	sl, ok := esc.root.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsOrdered == 0 {
+		return nil
+	}
+	var edits []analysis.TextEdit
+	if !hasImport(file, "slices") {
+		imp := importEdit(file, "slices")
+		if imp == nil {
+			return nil // no import block to extend
+		}
+		edits = append(edits, *imp)
+	}
+	indent := strings.Repeat("\t", pass.Fset.Position(esc.loopPos).Column-1)
+	edits = append(edits, analysis.TextEdit{
+		Pos:     esc.rangeEnd,
+		End:     esc.rangeEnd,
+		NewText: []byte("\n" + indent + "slices.Sort(" + esc.display + ")"),
+	})
+	return []analysis.SuggestedFix{{
+		Message:   "sort " + esc.display + " after the loop",
+		TextEdits: edits,
+	}}
+}
+
+func hasImport(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// importEdit returns the edit adding path to the file's first
+// parenthesized import block, in sorted position; nil when there is no
+// block to extend.
+func importEdit(file *ast.File, path string) *analysis.TextEdit {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() || len(gd.Specs) == 0 {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if strings.Trim(is.Path.Value, `"`) > path {
+				return &analysis.TextEdit{Pos: is.Pos(), End: is.Pos(), NewText: []byte(`"` + path + "\"\n\t")}
+			}
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		return &analysis.TextEdit{Pos: last.End(), End: last.End(), NewText: []byte("\n\t\"" + path + `"`)}
+	}
+	return nil
 }
 
 func isMapType(info *types.Info, e ast.Expr) bool {
@@ -327,9 +465,10 @@ func isAppend(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // launderedAfter reports whether a call after pos re-orders data
-// rooted at root: sort.*, slices.Sort*, or a same-package lint:sorted
-// function, with root mentioned in the receiver or arguments.
-func launderedAfter(info *types.Info, sorted map[types.Object]bool, body *ast.BlockStmt, root types.Object, pos token.Pos) bool {
+// rooted at root: sort.*, slices.Sort*, a same-package lint:sorted
+// function, or a module-local callee whose summary promises a sort of
+// the matching argument or receiver, with root mentioned there.
+func launderedAfter(info *types.Info, sorted map[types.Object]bool, sum *cfgutil.Summaries, body *ast.BlockStmt, root types.Object, pos token.Pos) bool {
 	found := false
 	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -350,6 +489,24 @@ func launderedAfter(info *types.Info, sorted map[types.Object]bool, body *ast.Bl
 			}
 		}
 		if !launders && !sorted[fn] {
+			// Cross-package: the callee's summary carries the promise.
+			if ff, _, ok := sum.ForCall(call); ok {
+				if ff.SortsRecv {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && mentionsObj(info, sel.X, root) {
+						found = true
+						return false
+					}
+				}
+				for j, arg := range call.Args {
+					if j >= 32 {
+						break
+					}
+					if ff.SortsParams&(1<<uint(j)) != 0 && mentionsObj(info, arg, root) {
+						found = true
+						return false
+					}
+				}
+			}
 			return true
 		}
 		if callMentionsAny(info, call, []types.Object{root}) {
@@ -366,9 +523,10 @@ func launderedAfter(info *types.Info, sorted map[types.Object]bool, body *ast.Bl
 }
 
 // localFlowsOut reports how a local accumulator escapes after the
-// loop: returned, emitted, sent on a channel, or copied into a root
-// the caller sees. Empty string means it stays internal.
-func localFlowsOut(info *types.Info, body *ast.BlockStmt, returned map[types.Object]bool, esc escape) string {
+// loop: returned, emitted (directly or via a summary-emitting callee),
+// sent on a channel, or copied into a root the caller sees. Empty
+// string means it stays internal.
+func localFlowsOut(info *types.Info, sum *cfgutil.Summaries, body *ast.BlockStmt, returned map[types.Object]bool, esc escape) string {
 	hop := ""
 	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
 		if hop != "" {
@@ -391,6 +549,19 @@ func localFlowsOut(info *types.Info, body *ast.BlockStmt, returned map[types.Obj
 			}
 			if what, ok := emitSink(info, n); ok && callMentionsAny(info, n, []types.Object{esc.root}) {
 				hop = "emitted via " + what
+			}
+			if hop == "" {
+				if ff, fn, ok := sum.ForCall(n); ok && ff.EmitParams != 0 {
+					for j, arg := range n.Args {
+						if j >= 32 {
+							break
+						}
+						if ff.EmitParams&(1<<uint(j)) != 0 && mentionsObj(info, arg, esc.root) {
+							hop = "passed to " + fn.Name() + ", which emits it"
+							break
+						}
+					}
+				}
 			}
 		case *ast.AssignStmt:
 			if n.Pos() <= esc.rangeEnd {

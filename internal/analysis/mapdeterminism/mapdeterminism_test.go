@@ -5,9 +5,31 @@ import (
 
 	"golang.org/x/tools/go/analysis/analysistest"
 
+	"ocd/internal/analysis/cfgutil"
 	"ocd/internal/analysis/mapdeterminism"
 )
 
 func TestMapDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), mapdeterminism.Analyzer, "b")
+}
+
+// TestMapDeterminismInterprocedural: the emit, taint and sort
+// judgments all cross a package boundary through cfgutil summaries.
+func TestMapDeterminismInterprocedural(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapdeterminism.Analyzer, "mdinter")
+}
+
+// TestMapDeterminismMissedWithoutSummaries proves the mdinter findings
+// are invisible to the purely intra-procedural pass: with summaries
+// disabled the same shapes produce no diagnostics.
+func TestMapDeterminismMissedWithoutSummaries(t *testing.T) {
+	cfgutil.DisableSummaries = true
+	defer func() { cfgutil.DisableSummaries = false }()
+	analysistest.Run(t, analysistest.TestData(), mapdeterminism.Analyzer, "mdinter/nosum")
+}
+
+// TestMapDeterminismSuggestedFixes pins the -fix rewrite: the returned
+// accumulator gains slices.Sort after the loop plus the import.
+func TestMapDeterminismSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), mapdeterminism.Analyzer, "mdfix")
 }

@@ -1,0 +1,36 @@
+// Package dep provides summary-carrying helpers for the mdinter
+// fixtures: an emitter (EmitParams), a map-ordered producer
+// (TaintedReturns), and a canonicalizer (SortsParams).
+package dep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emit prints its argument: the summary marks parameter 0 emitting.
+func Emit(v string) {
+	fmt.Println(v)
+}
+
+// EmitAll prints the whole slice: parameter 0 emits.
+func EmitAll(xs []string) {
+	fmt.Println(xs)
+}
+
+// Keys returns the map's keys in iteration order: the summary taints
+// result 0. (The finding inside this body is discarded by the test
+// runner's dependency pre-run; the fixture under test observes only
+// the exported fact.)
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Canon places xs into canonical order.
+func Canon(xs []string) {
+	sort.Strings(xs)
+}

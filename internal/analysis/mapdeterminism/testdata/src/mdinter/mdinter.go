@@ -1,0 +1,37 @@
+// Cross-package fixtures for the summary-aware mapdeterminism pass:
+// every emit, taint and sort judgment below arrives through dep's
+// cfgutil.FuncFact summaries, not through anything visible in this
+// file.
+package mdinter
+
+import "mdinter/dep"
+
+// EmitViaHelper streams keys through dep.Emit, whose summary says it
+// emits its argument.
+func EmitViaHelper(m map[string]int) {
+	for k := range m {
+		dep.Emit(k) // want `map-iteration order escapes into Emit, which emits its argument`
+	}
+}
+
+// TaintedFromHelper receives a map-ordered slice from dep.Keys and
+// returns it.
+func TaintedFromHelper(m map[string]int) []string {
+	ks := dep.Keys(m) // want `ks receives map-iteration-ordered elements from Keys and escapes to the caller`
+	return ks
+}
+
+// LocalHopViaHelper: the tainted local is later handed to a
+// summary-emitting callee — the flow-out hop is summary-aware too.
+func LocalHopViaHelper(m map[string]int) {
+	ks := dep.Keys(m) // want `ks receives map-iteration-ordered elements from Keys and later passed to EmitAll, which emits it`
+	dep.EmitAll(ks)
+}
+
+// LaunderedByHelper routes the map-ordered slice through dep.Canon,
+// whose summary promises a sort of its argument: no finding.
+func LaunderedByHelper(m map[string]int) []string {
+	ks := dep.Keys(m)
+	dep.Canon(ks)
+	return ks
+}

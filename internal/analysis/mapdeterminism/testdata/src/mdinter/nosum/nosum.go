@@ -1,0 +1,21 @@
+// The same shapes as the mdinter fixtures, checked with
+// cfgutil.DisableSummaries set: without dep's summaries the pass sees
+// neither the emitting helper nor the tainted return, so no diagnostic
+// fires here — which is exactly what this fixture pins (no want
+// comments).
+package nosum
+
+import "mdinter/dep"
+
+// EmitViaHelper is missed without dep.Emit's EmitParams summary.
+func EmitViaHelper(m map[string]int) {
+	for k := range m {
+		dep.Emit(k)
+	}
+}
+
+// TaintedFromHelper is missed without dep.Keys' TaintedReturns summary.
+func TaintedFromHelper(m map[string]int) []string {
+	ks := dep.Keys(m)
+	return ks
+}

@@ -33,11 +33,15 @@
 // writes to a shared map are flagged regardless of the key, since
 // concurrent map writes fault even on distinct keys.
 //
-// Known blind spots, accepted for a race-lite check: writes through a
-// goroutine-local pointer into shared memory (`p := &shared; *p = x`
-// with p declared inside the literal), writes hidden behind method
-// calls on a shared receiver, accesses from closures passed to other
-// functions, and lock disciplines split across functions. Suppress a
+// Two of the historic blind spots are closed by the interprocedural
+// summary layer (cfgutil.FuncFact): a method call on a shared receiver
+// whose summary lists unsynchronized receiver writes counts as writing
+// those paths at the call site, and a call whose summary carries a net
+// lock effect (`s.lock()` helpers) updates the lockset exactly like an
+// inline mu.Lock(). Remaining blind spots, accepted for a race-lite
+// check: writes through a goroutine-local pointer into shared memory
+// (`p := &shared; *p = x` with p declared inside the literal),
+// accesses from closures passed to other functions. Suppress a
 // deliberate site with // lint:allow sharedwrite.
 package sharedwrite
 
@@ -57,22 +61,24 @@ import (
 
 // Analyzer is the sharedwrite analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "sharedwrite",
-	Doc:  "flags unsynchronized writes to variables shared between goroutines: captured writes in go closures and spawner writes concurrent with a running goroutine (suppress with // lint:allow sharedwrite)",
-	Run:  run,
+	Name:      "sharedwrite",
+	Doc:       "flags unsynchronized writes to variables shared between goroutines: captured writes in go closures and spawner writes concurrent with a running goroutine (suppress with // lint:allow sharedwrite)",
+	FactTypes: cfgutil.FactTypes,
+	Run:       run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if lintutil.ExemptPath(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	sum := cfgutil.ComputeSummaries(pass)
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
 			continue
 		}
 		allow := lintutil.NewAllower(pass.Fset, file)
 		for _, fb := range cfgutil.Bodies(file) {
-			checkFunc(pass, allow, fb.Body)
+			checkFunc(pass, allow, sum, fb.Body)
 		}
 	}
 	return nil, nil
@@ -100,7 +106,7 @@ type spawn struct {
 	doneKeys map[string]bool
 }
 
-func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, sum *cfgutil.Summaries, body *ast.BlockStmt) {
 	info := pass.TypesInfo
 
 	// Collect loops and go statements spawning literals at this body's
@@ -139,13 +145,13 @@ func checkFunc(pass *analysis.Pass, allow *lintutil.Allower, body *ast.BlockStmt
 	}
 
 	for _, sp := range spawns {
-		sp.accesses = collectFreeAccesses(info, sp.lit)
+		sp.accesses = collectFreeAccesses(info, sum, sp.lit)
 		sp.doneKeys = doneKeys(info, sp.lit)
 	}
 
 	// Spawner-side accesses (outside every function literal), plus the
 	// Wait positions that order them.
-	bodyAcc := collectBodyAccesses(info, body, spawns)
+	bodyAcc := collectBodyAccesses(info, sum, body, spawns)
 	waits := waitSites(info, body)
 
 	reported := make(map[token.Pos]bool)
@@ -264,8 +270,8 @@ func localsMentioned(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
 // goroutine) and records reads and writes of paths rooted at variables
 // captured from outside the literal. Writes carry the lockset verdict
 // of the literal's own CFG.
-func collectFreeAccesses(info *types.Info, lit *ast.FuncLit) map[string][]access {
-	held := lockedRegions(info, lit.Body)
+func collectFreeAccesses(info *types.Info, sum *cfgutil.Summaries, lit *ast.FuncLit) map[string][]access {
+	held := lockedRegions(info, sum, lit.Body)
 	out := make(map[string][]access)
 	add := func(e ast.Expr, write bool) {
 		key, rootPos, ok := pathKey(info, e, lit.Pos(), lit.End())
@@ -281,19 +287,48 @@ func collectFreeAccesses(info *types.Info, lit *ast.FuncLit) map[string][]access
 		})
 	}
 	classifyAccesses(info, lit.Body, lit.Pos(), lit.End(), add)
+	// Writes hidden behind method calls: a module-local method whose
+	// summary lists unsynchronized receiver writes performs them here,
+	// on whatever the goroutine's receiver expression names. Nested
+	// literals run on (or escape from) this goroutine, so the whole
+	// subtree counts.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, rels := methodWrites(info, sum, call)
+		if recv == nil {
+			return true
+		}
+		key0, rootPos, ok := pathKey(info, recv, lit.Pos(), lit.End())
+		if !ok {
+			return true
+		}
+		for _, rel := range rels {
+			out[key0+"."+rel] = append(out[key0+"."+rel], access{
+				pos:     call.Pos(),
+				rootPos: rootPos,
+				write:   true,
+				synced:  held(call.Pos()),
+				display: types.ExprString(recv) + "." + rel,
+			})
+		}
+		return true
+	})
 	return out
 }
 
 // collectBodyAccesses records accesses made by the spawner itself —
 // outside every function literal — to the paths some spawn shares.
-func collectBodyAccesses(info *types.Info, body *ast.BlockStmt, spawns []*spawn) map[string][]access {
+func collectBodyAccesses(info *types.Info, sum *cfgutil.Summaries, body *ast.BlockStmt, spawns []*spawn) map[string][]access {
 	shared := make(map[string]bool)
 	for _, sp := range spawns {
 		for k := range sp.accesses {
 			shared[k] = true
 		}
 	}
-	held := lockedRegions(info, body)
+	held := lockedRegions(info, sum, body)
 	out := make(map[string][]access)
 	add := func(e ast.Expr, write bool) {
 		key, rootPos, ok := pathKey(info, e, token.NoPos, token.NoPos)
@@ -309,7 +344,56 @@ func collectBodyAccesses(info *types.Info, body *ast.BlockStmt, spawns []*spawn)
 		})
 	}
 	classifyAccesses(info, body, token.NoPos, token.NoPos, add)
+	// The spawner-side mirror of the hidden-write rule.
+	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, rels := methodWrites(info, sum, call)
+		if recv == nil {
+			return true
+		}
+		key0, rootPos, ok := pathKey(info, recv, token.NoPos, token.NoPos)
+		if !ok {
+			return true
+		}
+		for _, rel := range rels {
+			key := key0 + "." + rel
+			if !shared[key] {
+				continue
+			}
+			out[key] = append(out[key], access{
+				pos:     call.Pos(),
+				rootPos: rootPos,
+				write:   true,
+				synced:  held(call.Pos()),
+				display: types.ExprString(recv) + "." + rel,
+			})
+		}
+		return true
+	})
 	return out
+}
+
+// methodWrites resolves call through the summary layer: when it is a
+// module-local method whose summary lists unsynchronized receiver
+// writes, it returns the receiver expression and the written
+// receiver-relative paths.
+func methodWrites(info *types.Info, sum *cfgutil.Summaries, call *ast.CallExpr) (ast.Expr, []string) {
+	ff, fn, ok := sum.ForCall(call)
+	if !ok || len(ff.UnsyncedWrites) == 0 {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return sel.X, ff.UnsyncedWrites
 }
 
 // classifyAccesses walks root and reports each variable access as a
@@ -415,12 +499,16 @@ func spineNodes(e ast.Expr) []ast.Node {
 }
 
 // lockedRegions runs the shared lock-state dataflow over body and
-// returns a query: is some mutex must-held at pos?
-func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bool {
+// returns a query: is some mutex must-held at pos? Besides inline
+// mutex operations, calls whose summary carries a net lock effect
+// (`s.lock()` helpers) update the lattice.
+func lockedRegions(info *types.Info, sum *cfgutil.Summaries, body *ast.BlockStmt) func(pos token.Pos) bool {
 	hasOp := false
 	cfgutil.WalkNodeSkipFuncLit(body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if _, ok := cfgutil.MutexOp(info, call); ok {
+				hasOp = true
+			} else if ff, _, ok := sum.ForCall(call); ok && len(ff.LockEffects) > 0 {
 				hasOp = true
 			}
 		}
@@ -428,6 +516,11 @@ func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bo
 	})
 	if !hasOp {
 		return func(token.Pos) bool { return false }
+	}
+
+	transfer := func(n ast.Node, st cfgutil.LockState) {
+		cfgutil.TransferLockNode(info, n, st)
+		summaryLockEffects(info, sum, n, st)
 	}
 
 	g := cfgutil.New(body, info)
@@ -444,7 +537,7 @@ func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bo
 		onWork[b.Index] = false
 		out := in[b.Index].Clone()
 		for _, n := range b.Nodes {
-			cfgutil.TransferLockNode(info, n, out)
+			transfer(n, out)
 		}
 		for _, succ := range b.Succs {
 			if in[succ.Index].Join(out) && !onWork[succ.Index] {
@@ -469,7 +562,7 @@ func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bo
 		st := in[b.Index].Clone()
 		for _, n := range b.Nodes {
 			spans = append(spans, span{n.Pos(), n.End(), len(st.MustHeldKeys()) > 0})
-			cfgutil.TransferLockNode(info, n, st)
+			transfer(n, st)
 		}
 	}
 	return func(pos token.Pos) bool {
@@ -484,6 +577,46 @@ func lockedRegions(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bo
 		}
 		return best >= 0 && spans[best].held
 	}
+}
+
+// summaryLockEffects applies the net lock effects of module-local
+// calls inside n: a callee that returns with the receiver's mutex held
+// locks it here, its counterpart unlocks. Keys are formed the same way
+// LockOpKey forms them for inline operations, so both views meet in
+// one lattice entry.
+func summaryLockEffects(info *types.Info, sum *cfgutil.Summaries, n ast.Node, st cfgutil.LockState) {
+	cfgutil.WalkNodeSkipFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ff, _, ok := sum.ForCall(call)
+		if !ok || len(ff.LockEffects) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := cfgutil.ExprKey(info, sel.X)
+		if !ok {
+			return true
+		}
+		rels := make([]string, 0, len(ff.LockEffects))
+		for rel := range ff.LockEffects {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			key := base + "." + rel
+			if ff.LockEffects[rel] == "lock" {
+				st.SetLocked(key)
+			} else {
+				st.SetUnlocked(key)
+			}
+		}
+		return true
+	})
 }
 
 // doneKeys returns the WaitGroup keys the literal calls Done on.

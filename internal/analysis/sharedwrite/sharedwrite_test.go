@@ -5,9 +5,26 @@ import (
 
 	"golang.org/x/tools/go/analysis/analysistest"
 
+	"ocd/internal/analysis/cfgutil"
 	"ocd/internal/analysis/sharedwrite"
 )
 
 func TestSharedWrite(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), sharedwrite.Analyzer, "a")
+}
+
+// TestSharedWriteInterprocedural: the racing write and the protecting
+// lock discipline live in helper methods and reach the spawn site only
+// through cfgutil summaries.
+func TestSharedWriteInterprocedural(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedwrite.Analyzer, "swinter")
+}
+
+// TestSharedWriteMissedWithoutSummaries proves the swinter race is
+// invisible to the purely intra-procedural pass: with summaries
+// disabled the same shape produces no diagnostic.
+func TestSharedWriteMissedWithoutSummaries(t *testing.T) {
+	cfgutil.DisableSummaries = true
+	defer func() { cfgutil.DisableSummaries = false }()
+	analysistest.Run(t, analysistest.TestData(), sharedwrite.Analyzer, "swinter/nosum")
 }

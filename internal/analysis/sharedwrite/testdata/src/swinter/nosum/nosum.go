@@ -1,0 +1,25 @@
+// The racing shape from the swinter fixtures, checked with
+// cfgutil.DisableSummaries set: without bump's UnsyncedWrites summary
+// the goroutine's write is invisible at the spawn site, so no
+// diagnostic fires here (no want comments).
+package nosum
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump() {
+	c.n++
+}
+
+// RaceThroughMethod is missed without the method-write summary.
+func RaceThroughMethod() int {
+	c := &counter{}
+	go func() {
+		c.bump()
+	}()
+	return c.n
+}

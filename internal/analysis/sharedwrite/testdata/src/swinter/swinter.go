@@ -1,0 +1,53 @@
+// Cross-function fixtures for the summary-aware sharedwrite pass: the
+// racing write and the protecting lock discipline both live in helper
+// methods, visible at the spawn site only through cfgutil summaries
+// (UnsyncedWrites and LockEffects).
+package swinter
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump writes n with no lock held: the summary records the unsynced
+// write so spawn sites can see through the call.
+func (c *counter) bump() {
+	c.n++
+}
+
+// lock and unlock carry net lock effects on mu in their summaries.
+func (c *counter) lock()   { c.mu.Lock() }
+func (c *counter) unlock() { c.mu.Unlock() }
+
+// RaceThroughMethod races: the goroutine writes c.n via bump while the
+// spawner reads it, and only bump's summary exposes the write.
+func RaceThroughMethod() int {
+	c := &counter{}
+	go func() {
+		c.bump() // want `c\.n is written by this goroutine while the spawning function still accesses it`
+	}()
+	return c.n
+}
+
+// LockedThroughHelpers is clean: both sides guard c.n through the
+// lock/unlock helpers, whose summaries extend the lockset across the
+// calls, and the trailing read is ordered by the Wait.
+func LockedThroughHelpers() int {
+	c := &counter{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.lock()
+		c.n++
+		c.unlock()
+	}()
+	c.lock()
+	n := c.n
+	c.unlock()
+	_ = n
+	wg.Wait()
+	return c.n
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,7 +21,7 @@ func TestCheckpointDirGivesEachRunItsOwnSnapshot(t *testing.T) {
 		{1, 1, 2}, {2, 2, 1}, {3, 2, 3}, {4, 3, 1},
 	})
 	for i := 0; i < 2; i++ {
-		if res := discover(s, r, core.Options{}); res.Stats.Checkpoints == 0 {
+		if res := discover(context.Background(), s, r, core.Options{}); res.Stats.Checkpoints == 0 {
 			t.Fatalf("run %d wrote no snapshots", i)
 		}
 	}

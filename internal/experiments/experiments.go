@@ -49,11 +49,6 @@ type Scale struct {
 	MaxThreads   int           // paper: 12 hyper-threaded cores
 	MaxCand      int64         // candidate cap guarding blow-up runs
 
-	// Ctx, when non-nil, cancels a whole experiment suite cooperatively:
-	// in-flight discovery runs stop within milliseconds and measurement
-	// loops break at the next sample. Nil means context.Background().
-	Ctx context.Context
-
 	// CheckpointDir, when non-empty, makes every measured discovery run
 	// durable: each run snapshots its traversal into a distinct file under
 	// this directory, so a multi-hour suite killed mid-run loses at most
@@ -62,32 +57,20 @@ type Scale struct {
 	CheckpointDir string
 }
 
-// ctx resolves the scale's context, defaulting to Background.
-func (s Scale) ctx() context.Context {
-	if s.Ctx != nil {
-		return s.Ctx
-	}
-	return context.Background()
-}
-
-// cancelled reports whether the suite's context has ended; measurement
-// loops poll it between samples.
-func (s Scale) cancelled() bool { return s.ctx().Err() != nil }
-
 // ckptSeq numbers the checkpoint files of a suite so concurrent or repeated
 // runs never overwrite each other's snapshots.
 var ckptSeq atomic.Int64
 
-// discover runs one measured discovery under the scale's context; partial
-// (cancelled) runs still return their result so in-progress series keep the
-// samples already measured. With CheckpointDir set, each run writes level
-// snapshots to its own file "<dir>/<relation>-NNN.ckpt".
-func discover(s Scale, r *relation.Relation, opts core.Options) *core.Result {
+// discover runs one measured discovery under ctx; partial (cancelled) runs
+// still return their result so in-progress series keep the samples already
+// measured. With CheckpointDir set, each run writes level snapshots to its
+// own file "<dir>/<relation>-NNN.ckpt".
+func discover(ctx context.Context, s Scale, r *relation.Relation, opts core.Options) *core.Result {
 	if s.CheckpointDir != "" && opts.CheckpointPath == "" {
 		opts.CheckpointPath = filepath.Join(s.CheckpointDir,
 			fmt.Sprintf("%s-%03d.ckpt", sanitizeName(r.Name), ckptSeq.Add(1)))
 	}
-	res, _ := core.DiscoverContext(s.ctx(), r, opts) // lint:allow errdrop — cancellation is polled via s.cancelled(); partial samples are kept
+	res, _ := core.DiscoverContext(ctx, r, opts) // lint:allow errdrop — cancellation is polled by the measurement loops; partial samples are kept
 	return res
 }
 
@@ -201,14 +184,15 @@ type Table6Row struct {
 }
 
 // Table6 reruns the three algorithms (plus TANE) over the named datasets;
-// nil datasets selects all of Table6Datasets.
-func Table6(s Scale, datasets []string) []Table6Row {
+// nil datasets selects all of Table6Datasets. ctx cancels the sweep between
+// datasets and stops in-flight discovery runs cooperatively.
+func Table6(ctx context.Context, s Scale, datasets []string) []Table6Row {
 	if datasets == nil {
 		datasets = Table6Datasets()
 	}
 	rows := make([]Table6Row, 0, len(datasets))
 	for _, name := range datasets {
-		if s.cancelled() {
+		if ctx.Err() != nil {
 			break
 		}
 		r := Dataset(name, s)
@@ -241,7 +225,7 @@ func Table6(s Scale, datasets []string) []Table6Row {
 			row.FastodTrunc = true
 		}
 
-		cres := discover(s, r, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		cres := discover(ctx, s, r, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		row.OcdOCDs = len(cres.OCDs)
 		row.OcdODs = cres.CountExpandedODs()
 		row.OcdChecks = cres.Stats.Checks
@@ -310,7 +294,7 @@ type SeriesPoint struct {
 // Fig2RowScalability measures OCDDISCOVER runtime at 10%..100% of the rows
 // of LINEITEM and of a 20-column NCVOTER sample, averaging Reps runs —
 // the paper's Figure 2. The expected shape is near-linear growth.
-func Fig2RowScalability(s Scale) map[string][]SeriesPoint {
+func Fig2RowScalability(ctx context.Context, s Scale) map[string][]SeriesPoint {
 	out := make(map[string][]SeriesPoint)
 	// 20 deterministic-randomly chosen columns of NCVOTER, as in §5.3.1.
 	nv := datagen.NCVoter(s.NCVoterRows, 94)
@@ -326,14 +310,14 @@ func Fig2RowScalability(s Scale) map[string][]SeriesPoint {
 	for _, base := range []*relation.Relation{datagen.LineItem(s.LineItemRows), nv20} {
 		var series []SeriesPoint
 		for pct := 10; pct <= 100; pct += 10 {
-			if s.cancelled() {
+			if ctx.Err() != nil {
 				break
 			}
 			sub := sampleRows(base, float64(pct)/100)
 			var total time.Duration
 			var deps int64
 			for rep := 0; rep < s.Reps; rep++ {
-				res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+				res := discover(ctx, s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 				total += res.Stats.Elapsed
 				deps = res.CountExpandedODs()
 			}
@@ -351,12 +335,12 @@ func Fig2RowScalability(s Scale) map[string][]SeriesPoint {
 // ColScalability measures mean OCDDISCOVER runtime over ColSamples random
 // column subsets of each size from 2 to NumCols — Figures 3 (HEPATITIS)
 // and 4 (HORSE).
-func ColScalability(dataset string, s Scale) []SeriesPoint {
+func ColScalability(ctx context.Context, dataset string, s Scale) []SeriesPoint {
 	base := Dataset(dataset, s)
 	rng := rand.New(rand.NewSource(2))
 	var series []SeriesPoint
 	for nc := 2; nc <= base.NumCols(); nc++ {
-		if s.cancelled() {
+		if ctx.Err() != nil {
 			break
 		}
 		var total time.Duration
@@ -368,7 +352,7 @@ func ColScalability(dataset string, s Scale) []SeriesPoint {
 				cols[i] = attr.ID(p)
 			}
 			sub := base.Project(cols)
-			res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+			res := discover(ctx, s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 			total += res.Stats.Elapsed
 			deps += res.CountExpandedODs()
 		}
@@ -385,7 +369,7 @@ func ColScalability(dataset string, s Scale) []SeriesPoint {
 // fixed column order, recording runtime and dependency count per prefix —
 // the paper's Figure 5, whose y-axis jump appears when a quasi-constant
 // column (few distinct values) joins the working set.
-func Fig5SingleRun(s Scale) []SeriesPoint {
+func Fig5SingleRun(ctx context.Context, s Scale) []SeriesPoint {
 	base := Dataset("HORSE", s)
 	rng := rand.New(rand.NewSource(3))
 	perm := rng.Perm(base.NumCols())
@@ -402,7 +386,7 @@ func Fig5SingleRun(s Scale) []SeriesPoint {
 
 	var series []SeriesPoint
 	for nc := 2; nc <= len(order); nc++ {
-		if s.cancelled() {
+		if ctx.Err() != nil {
 			break
 		}
 		cols := make([]attr.ID, nc)
@@ -410,7 +394,7 @@ func Fig5SingleRun(s Scale) []SeriesPoint {
 			cols[i] = attr.ID(order[i])
 		}
 		sub := base.Project(cols)
-		res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		res := discover(ctx, s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		series = append(series, SeriesPoint{
 			X:       float64(nc),
 			Elapsed: res.Stats.Elapsed,
@@ -431,19 +415,19 @@ type ThreadPoint struct {
 // LINEITEM and DBTESMA — Figure 6 and Table 8. The paper's shape: LINEITEM
 // (expensive checks) and DBTESMA (many checks) gain the most; LETTER gains
 // little.
-func Fig6Threads(s Scale) map[string][]ThreadPoint {
+func Fig6Threads(ctx context.Context, s Scale) map[string][]ThreadPoint {
 	out := make(map[string][]ThreadPoint)
 	for _, name := range []string{"LETTER", "LINEITEM", "DBTESMA"} {
 		r := Dataset(name, s)
 		var pts []ThreadPoint
 		var base time.Duration
 		for th := 1; th <= s.MaxThreads; th *= 2 {
-			if s.cancelled() {
+			if ctx.Err() != nil {
 				break
 			}
 			var best time.Duration
 			for rep := 0; rep < s.Reps; rep++ {
-				res := discover(s, r, core.Options{
+				res := discover(ctx, s, r, core.Options{
 					Workers: th, Timeout: s.Timeout, MaxCandidates: s.MaxCand,
 				})
 				if rep == 0 || res.Stats.Elapsed < best {
@@ -467,7 +451,7 @@ func Fig6Threads(s Scale) map[string][]ThreadPoint {
 // Fig7EntropyOrdered adds FLIGHT columns in decreasing-entropy order and
 // measures runtime per prefix — the paper's Figure 7, whose cliff appears
 // once 2-distinct-value columns join.
-func Fig7EntropyOrdered(s Scale, maxCols int) []SeriesPoint {
+func Fig7EntropyOrdered(ctx context.Context, s Scale, maxCols int) []SeriesPoint {
 	base := datagen.Flight1K()
 	ranked := entropy.Rank(base)
 	if maxCols <= 0 || maxCols > len(ranked) {
@@ -475,7 +459,7 @@ func Fig7EntropyOrdered(s Scale, maxCols int) []SeriesPoint {
 	}
 	var series []SeriesPoint
 	for nc := 2; nc <= maxCols; nc++ {
-		if s.cancelled() {
+		if ctx.Err() != nil {
 			break
 		}
 		cols := make([]attr.ID, nc)
@@ -483,7 +467,7 @@ func Fig7EntropyOrdered(s Scale, maxCols int) []SeriesPoint {
 			cols[i] = ranked[i].Col
 		}
 		sub := base.Project(cols)
-		res := discover(s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
+		res := discover(ctx, s, sub, core.Options{Timeout: s.Timeout, MaxCandidates: s.MaxCand})
 		truncated := int64(0)
 		if res.Stats.Truncated {
 			truncated = 1
@@ -561,16 +545,16 @@ type AblationPoint struct {
 // column reduction on/off and the sorted-index cache on/off. (The radix-
 // versus-comparison index ablation is a micro-benchmark; see
 // BenchmarkAblation_RadixIndex.)
-func Ablations(s Scale) []AblationPoint {
+func Ablations(ctx context.Context, s Scale) []AblationPoint {
 	r := Dataset("DBTESMA_1K", s)
 	var out []AblationPoint
 	run := func(config string, opts core.Options) {
-		if s.cancelled() {
+		if ctx.Err() != nil {
 			return
 		}
 		opts.Timeout = s.Timeout
 		opts.MaxCandidates = s.MaxCand
-		res := discover(s, r, opts)
+		res := discover(ctx, s, r, opts)
 		out = append(out, AblationPoint{Config: config, Elapsed: res.Stats.Elapsed, Checks: res.Stats.Checks})
 	}
 	run("baseline", core.Options{})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestDatasetRegistry(t *testing.T) {
 
 func TestTable6SmallDatasets(t *testing.T) {
 	s := TestScale()
-	rows := Table6(s, []string{"YES", "NO", "NUMBERS"})
+	rows := Table6(context.Background(), s, []string{"YES", "NO", "NUMBERS"})
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -50,7 +51,7 @@ func TestTable6SmallDatasets(t *testing.T) {
 
 func TestTable6HorseShape(t *testing.T) {
 	s := TestScale()
-	rows := Table6(s, []string{"HORSE"})
+	rows := Table6(context.Background(), s, []string{"HORSE"})
 	r := rows[0]
 	// The paper's headline comparison: OCDDISCOVER finds strictly more
 	// dependencies than ORDER on HORSE (repeated-attribute ODs).
@@ -64,7 +65,7 @@ func TestTable6HorseShape(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	s := TestScale()
-	series := Fig2RowScalability(s)
+	series := Fig2RowScalability(context.Background(), s)
 	if len(series) != 2 {
 		t.Fatalf("Fig2 series = %d", len(series))
 	}
@@ -82,7 +83,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestColScalabilityShape(t *testing.T) {
 	s := TestScale()
-	pts := ColScalability("HEPATITIS", s)
+	pts := ColScalability(context.Background(), "HEPATITIS", s)
 	base := Dataset("HEPATITIS", s)
 	if len(pts) != base.NumCols()-1 {
 		t.Errorf("points = %d, want %d", len(pts), base.NumCols()-1)
@@ -94,7 +95,7 @@ func TestColScalabilityShape(t *testing.T) {
 
 func TestFig5ContainsQuasiConstantColumn(t *testing.T) {
 	s := TestScale()
-	pts := Fig5SingleRun(s)
+	pts := Fig5SingleRun(context.Background(), s)
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}
@@ -108,7 +109,7 @@ func TestFig5ContainsQuasiConstantColumn(t *testing.T) {
 func TestFig6ThreadsShape(t *testing.T) {
 	s := TestScale()
 	s.MaxThreads = 2
-	data := Fig6Threads(s)
+	data := Fig6Threads(context.Background(), s)
 	for name, pts := range data {
 		if len(pts) < 2 {
 			t.Errorf("%s: %d thread points", name, len(pts))
@@ -126,7 +127,7 @@ func TestFig7StopsAtCliff(t *testing.T) {
 	s := TestScale()
 	s.Timeout = 1_500_000_000 // 1.5s — force an early cliff
 	s.MaxCand = 30_000
-	pts := Fig7EntropyOrdered(s, 60)
+	pts := Fig7EntropyOrdered(context.Background(), s, 60)
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}

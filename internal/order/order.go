@@ -222,11 +222,17 @@ func (c *Checker) buildIndex(x attr.List) ([]int32, bool) {
 	r := c.r
 	idx := make([]int32, r.NumRows())
 	for i := range idx {
+		if uint32(i)&stopCheckMask == 0 && c.stopped() {
+			return nil, false // aborted init: conservatively discard
+		}
 		idx[i] = int32(i)
 	}
 	// Peel off the columns once so the comparator avoids interface hops.
 	cols := make([][]int32, len(x))
 	for i, a := range x {
+		if c.stopped() {
+			return nil, false // aborted peel: conservatively discard
+		}
 		cols[i] = r.Col(a)
 	}
 	if !sortIdxByColsStop(idx, cols, c.stop) {

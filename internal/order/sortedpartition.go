@@ -296,6 +296,10 @@ func (c *PartitionChecker) CheckOD(x, y attr.List) bool {
 	prev := int32(-1)
 	start = 0
 	for _, end := range sp.Ends {
+		tick++
+		if tick&stopCheckMask == 0 && c.stopped() {
+			return false // aborted scan: conservatively invalid
+		}
 		rep := sp.Idx[start]
 		if prev >= 0 && CompareRows(r, int(prev), int(rep), y) > 0 {
 			return false // swap

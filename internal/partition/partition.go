@@ -10,9 +10,17 @@
 package partition
 
 import (
+	"sync/atomic"
+
 	"ocd/internal/attr"
 	"ocd/internal/relation"
 )
+
+// stopCheckMask throttles cooperative-stop polling inside the product's
+// row loops, mirroring internal/order: the atomic flag is loaded once per
+// (mask+1) rows, so the hot path costs a local counter increment and the
+// occasional load.
+const stopCheckMask = 1023
 
 // Partition is a stripped partition: equivalence classes (row-position
 // slices) of size at least two, plus the number of rows of the underlying
@@ -103,16 +111,33 @@ func (p *Partition) Error() int { return p.Size() - p.NumClasses() }
 
 // Product computes the stripped partition π_X · π_Y = π_{X∪Y} using the
 // linear-time probe-table algorithm of TANE.
-// lint:hot
 func (p *Partition) Product(q *Partition) *Partition {
+	prod, _ := p.ProductStop(q, nil)
+	return prod
+}
+
+// ProductStop is Product with cooperative abort: a non-nil stop flag is
+// polled every stopCheckMask+1 rows, and a requested stop returns
+// (nil, false) — the partial product is garbage and must be discarded. A
+// nil stop never aborts, so ok is then always true.
+// lint:hot
+func (p *Partition) ProductStop(q *Partition, stop *atomic.Bool) (*Partition, bool) {
 	out := &Partition{NumRows: p.NumRows}
 	// probe[row] = index of the p-class containing row, or -1.
 	probe := make([]int32, p.NumRows)
 	for i := range probe {
+		if uint32(i)&stopCheckMask == 0 && stop != nil && stop.Load() {
+			return nil, false // aborted init
+		}
 		probe[i] = -1
 	}
+	var tick uint32
 	for ci, cls := range p.Classes {
 		for _, row := range cls {
+			tick++
+			if tick&stopCheckMask == 0 && stop != nil && stop.Load() {
+				return nil, false // aborted probe fill
+			}
 			probe[row] = int32(ci)
 		}
 	}
@@ -121,6 +146,10 @@ func (p *Partition) Product(q *Partition) *Partition {
 	buckets := make(map[int32][]int32)
 	for _, cls := range q.Classes {
 		for _, row := range cls {
+			tick++
+			if tick&stopCheckMask == 0 && stop != nil && stop.Load() {
+				return nil, false // aborted bucketing
+			}
 			pc := probe[row]
 			if pc < 0 {
 				continue // row is a p-singleton: product class is singleton
@@ -135,7 +164,7 @@ func (p *Partition) Product(q *Partition) *Partition {
 		}
 	}
 	out.normalize()
-	return out
+	return out, true
 }
 
 // Refines reports whether p refines q: every class of p is contained in some

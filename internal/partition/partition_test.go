@@ -3,6 +3,7 @@ package partition
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"ocd/internal/attr"
@@ -66,6 +67,32 @@ func TestProductMatchesDirect(t *testing.T) {
 	// {A,B} classes: rows {0,1} (1,1) and {3,4} (2,1).
 	if prod.NumClasses() != 2 || prod.Size() != 4 {
 		t.Errorf("product = %v", prod.Classes)
+	}
+}
+
+func TestProductStopAbortsAndMatchesProduct(t *testing.T) {
+	r := rel([][]int{
+		{1, 1}, {1, 1}, {1, 2}, {2, 1}, {2, 1}, {2, 2},
+	})
+	pa, pb := Single(r, 0), Single(r, 1)
+
+	// nil stop: identical to Product, ok always true.
+	prod, ok := pa.ProductStop(pb, nil)
+	if !ok || !prod.Equal(pa.Product(pb)) {
+		t.Fatalf("ProductStop(nil) = (%v, %v), want Product result", prod, ok)
+	}
+
+	// unset flag: still completes.
+	var stop atomic.Bool
+	if prod, ok = pa.ProductStop(pb, &stop); !ok || prod == nil {
+		t.Fatalf("ProductStop with unset flag aborted")
+	}
+
+	// set flag: the first masked poll fires on row 0 of the probe init,
+	// so even a tiny product aborts with a discarded (nil) result.
+	stop.Store(true)
+	if prod, ok = pa.ProductStop(pb, &stop); ok || prod != nil {
+		t.Fatalf("ProductStop with set flag = (%v, %v), want (nil, false)", prod, ok)
 	}
 }
 

@@ -8,7 +8,8 @@
 #                                (nopanic, atomicfield, listalias,
 #                                hotloopalloc, obshot, lockbalance,
 #                                wgcheck, errdrop, sharedwrite,
-#                                mapdeterminism, ctxflow; see
+#                                mapdeterminism, goroutineleak,
+#                                ctxflow; see
 #                                docs/LINTING.md). Runs with
 #                                -baseline-strict: error-tier findings,
 #                                un-baselined warn findings and stale

@@ -47,6 +47,15 @@ type Analyzer struct {
 
 	// ResultType is the type of this analyzer's result, if any.
 	ResultType interface{}
+
+	// FactTypes indicates that this analyzer imports and exports Facts
+	// of the given concrete types. An analyzer that uses facts may
+	// assume that its import dependencies have been similarly analyzed
+	// before it runs: the shim drivers process packages in dependency
+	// order and keep a per-analyzer fact store keyed by canonical
+	// object names (see the package README for what subset of the
+	// upstream fact machinery is implemented).
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -71,6 +80,34 @@ type Pass struct {
 	// ResultOf holds the results of required analyzers. Always empty in
 	// this shim (requirements are not executed).
 	ResultOf map[*Analyzer]interface{}
+
+	// ImportObjectFact retrieves a fact associated with obj that was
+	// exported by an earlier pass of the same analyzer (over this
+	// package or one of its dependencies). It copies the stored value
+	// into fact (which must be a pointer of the same concrete type)
+	// and reports whether a fact was found. Set by the driver; nil when
+	// the driver does not support facts.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ImportPackageFact is ImportObjectFact for package-level facts.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// ExportObjectFact associates fact with obj for consumption by
+	// later passes. The shim supports package-scope objects and
+	// methods of package-scope named types; facts on other objects are
+	// silently dropped (they cannot be named from another package).
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ExportPackageFact associates fact with the current package.
+	ExportPackageFact func(fact Fact)
+
+	// AllObjectFacts returns facts of this analyzer on objects of the
+	// current package, in no particular order.
+	AllObjectFacts func() []ObjectFact
+
+	// AllPackageFacts returns this analyzer's package facts visible to
+	// the current pass.
+	AllPackageFacts func() []PackageFact
 }
 
 // Reportf is a helper that reports a Diagnostic with the given printf-style
@@ -88,6 +125,29 @@ func (pass *Pass) String() string {
 	return fmt.Sprintf("%s@%s", pass.Analyzer.Name, pass.Pkg.Path())
 }
 
+// A Fact is an intermediate analysis result attached to an object or a
+// package, allowing later passes of the same analyzer — over packages
+// that import the fact's home package — to consume summaries computed
+// earlier. Concrete fact types must be pointers and implement the
+// marker method. Unlike upstream, the shim stores facts in memory for
+// the duration of one driver run (no gob serialization), which is all
+// a single multichecker invocation needs.
+type Fact interface {
+	AFact() // dummy marker method
+}
+
+// An ObjectFact is a (types.Object, Fact) pair.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A PackageFact is a (*types.Package, Fact) pair.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
 // A Range describes a span of positions.
 type Range interface {
 	Pos() token.Pos
@@ -101,8 +161,10 @@ type Diagnostic struct {
 	Category string    // optional
 	Message  string
 
-	// SuggestedFixes is accepted for API compatibility but not applied
-	// by the shim driver.
+	// SuggestedFixes holds machine-applicable edits resolving the
+	// diagnostic. The multichecker shim applies them under -fix (or
+	// renders them as a unified diff under -fix -diff); analysistest
+	// checks them against .golden files.
 	SuggestedFixes []SuggestedFix
 
 	// URL holds an optional link to documentation for this diagnostic.

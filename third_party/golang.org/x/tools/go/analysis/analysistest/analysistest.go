@@ -12,6 +12,16 @@
 // Fixture packages may import each other (resolved from dir/src) and
 // the standard library (resolved through `go list -export`, no network
 // needed).
+//
+// Analyzers that declare FactTypes get fact support: before a fixture
+// package is checked, the analyzer first runs (diagnostics discarded)
+// over every fixture package it transitively imports, in dependency
+// order, sharing one in-memory fact store — mirroring what the
+// multichecker driver does with real packages.
+//
+// RunWithSuggestedFixes additionally applies every reported
+// SuggestedFix and compares each patched file against a sibling
+// <file>.golden file.
 package analysistest
 
 import (
@@ -55,14 +65,27 @@ type Result struct {
 // (import paths relative to dir/src) and checks that each reported
 // diagnostic matches a // want comment and vice versa.
 func Run(t testing.TB, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	return run(t, dir, a, false, patterns)
+}
+
+// RunWithSuggestedFixes is Run, plus: every SuggestedFix reported on a
+// fixture file is applied, and the patched content must equal the
+// committed <file>.golden next to it.
+func RunWithSuggestedFixes(t testing.TB, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	return run(t, dir, a, true, patterns)
+}
+
+func run(t testing.TB, dir string, a *analysis.Analyzer, checkFixes bool, patterns []string) []*Result {
 	r := &runner{
-		srcdir: filepath.Join(dir, "src"),
-		fset:   token.NewFileSet(),
-		loaded: make(map[string]*fixturePkg),
+		srcdir:   filepath.Join(dir, "src"),
+		fset:     token.NewFileSet(),
+		loaded:   make(map[string]*fixturePkg),
+		store:    analysis.NewFactStore(),
+		analyzed: make(map[string]bool),
 	}
 	var results []*Result
 	for _, pat := range patterns {
-		res := r.runOne(t, a, pat)
+		res := r.runOne(t, a, pat, checkFixes)
 		if res != nil {
 			results = append(results, res)
 		}
@@ -81,27 +104,41 @@ type runner struct {
 	srcdir  string
 	fset    *token.FileSet
 	loaded  map[string]*fixturePkg
+	order   []*fixturePkg // load order: dependencies before dependents
 	exports map[string]string
 	gc      types.Importer
+
+	store    *analysis.FactStore
+	analyzed map[string]bool // analyzer name + "\x00" + fixture path
 }
 
-func (r *runner) runOne(t testing.TB, a *analysis.Analyzer, pattern string) *Result {
+func (r *runner) runOne(t testing.TB, a *analysis.Analyzer, pattern string, checkFixes bool) *Result {
 	fp, err := r.load(pattern)
 	if err != nil {
 		t.Errorf("loading fixture %q: %v", pattern, err)
 		return nil
 	}
 
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      r.fset,
-		Files:     fp.files,
-		Pkg:       fp.pkg,
-		TypesInfo: fp.info,
-		ResultOf:  make(map[*analysis.Analyzer]interface{}),
+	// Fact-producing analyzers see their fixture dependencies first,
+	// diagnostics discarded, exactly like the driver's dependency-order
+	// sweep over real packages. r.order is naturally topological: a
+	// dependency finishes loading before its importer.
+	if len(a.FactTypes) > 0 {
+		for _, dep := range r.order {
+			if dep == fp || r.analyzed[a.Name+"\x00"+dep.path] {
+				continue
+			}
+			r.analyzed[a.Name+"\x00"+dep.path] = true
+			if _, err := a.Run(r.newPass(a, dep, func(analysis.Diagnostic) {})); err != nil {
+				t.Errorf("analyzer %s failed on dependency %q: %v", a.Name, dep.path, err)
+				return nil
+			}
+		}
 	}
+
 	var diags []analysis.Diagnostic
-	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	pass := r.newPass(a, fp, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	r.analyzed[a.Name+"\x00"+fp.path] = true
 	_, err = a.Run(pass)
 	if err != nil {
 		t.Errorf("analyzer %s failed on %q: %v", a.Name, pattern, err)
@@ -109,7 +146,88 @@ func (r *runner) runOne(t testing.TB, a *analysis.Analyzer, pattern string) *Res
 	}
 
 	r.check(t, a, fp, diags)
+	if checkFixes {
+		r.checkSuggestedFixes(t, a, diags)
+	}
 	return &Result{Pass: pass, Diagnostics: diags}
+}
+
+func (r *runner) newPass(a *analysis.Analyzer, fp *fixturePkg, report func(analysis.Diagnostic)) *analysis.Pass {
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      r.fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		ResultOf:  make(map[*analysis.Analyzer]interface{}),
+		Report:    report,
+	}
+	r.store.WirePass(pass, fp.path)
+	return pass
+}
+
+// checkSuggestedFixes applies all reported fixes file by file and
+// compares the result against <file>.golden.
+func (r *runner) checkSuggestedFixes(t testing.TB, a *analysis.Analyzer, diags []analysis.Diagnostic) {
+	type edit struct {
+		start, end int
+		newText    []byte
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				pos := r.fset.Position(e.Pos)
+				if !pos.IsValid() {
+					t.Errorf("analyzer %s: fix %q has invalid edit position", a.Name, fix.Message)
+					continue
+				}
+				end := pos.Offset
+				if e.End.IsValid() {
+					end = r.fset.Position(e.End).Offset
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end, e.NewText})
+			}
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("reading fixture %s: %v", file, err)
+			continue
+		}
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var out []byte
+		prev, bad := 0, false
+		for _, e := range edits {
+			if e.start < prev || e.end < e.start || e.end > len(src) {
+				t.Errorf("%s: overlapping or out-of-range suggested fixes", file)
+				bad = true
+				break
+			}
+			out = append(out, src[prev:e.start]...)
+			out = append(out, e.newText...)
+			prev = e.end
+		}
+		if bad {
+			continue
+		}
+		out = append(out, src[prev:]...)
+		golden, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Errorf("missing golden file for %s: %v", file, err)
+			continue
+		}
+		if string(out) != string(golden) {
+			t.Errorf("suggested fixes for %s do not match %s.golden\n-- got --\n%s\n-- want --\n%s", file, file, out, golden)
+		}
+	}
 }
 
 // load parses and type-checks the fixture package at srcdir/path,
@@ -156,6 +274,7 @@ func (r *runner) load(path string) (*fixturePkg, error) {
 	}
 	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
 	r.loaded[path] = fp
+	r.order = append(r.order, fp)
 	return fp, nil
 }
 

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// FactStore is an in-memory cross-package fact table used by the shim
+// drivers. Facts are keyed by (analyzer, canonical object name, fact
+// type), where the canonical name survives the source-checked /
+// export-data split personality of a package: the same function is one
+// *types.Func when its package is analyzed from source and a different
+// one when seen through the gc importer, so object pointers cannot be
+// the key. Package facts use the package path with an empty object
+// name.
+//
+// The zero value is not ready; use NewFactStore. Safe for concurrent
+// use (the drivers are sequential today; the lock is cheap insurance).
+type FactStore struct {
+	mu    sync.Mutex
+	facts map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer string
+	object   string // canonical object name, "" for package facts
+	typ      string // concrete fact type, e.g. "*cfgutil.FuncFact"
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey]Fact)}
+}
+
+// ObjectKey returns the canonical cross-package name for obj and
+// whether obj is nameable at all: package-scope objects are
+// "pkgpath#Name", methods of package-scope named types are
+// "pkgpath#Recv.Name". Local objects (parameters, locals, closures)
+// are not nameable from another package and yield ok=false.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed {
+				return "", false
+			}
+			return path + "#" + named.Obj().Name() + "." + fn.Name(), true
+		}
+		if fn.Scope() != nil && obj.Pkg().Scope().Lookup(fn.Name()) != fn {
+			// A declared function not visible at package scope is a
+			// closure or an instantiation; no stable name.
+			return "", false
+		}
+		return path + "#" + fn.Name(), true
+	}
+	if obj.Pkg().Scope().Lookup(obj.Name()) != obj {
+		return "", false
+	}
+	return path + "#" + obj.Name(), true
+}
+
+func factType(fact Fact) string {
+	return reflect.TypeOf(fact).String()
+}
+
+// Export records fact for the object named by key (from ObjectKey) or,
+// with key == "pkg:<path>", for a package. Later Import calls with the
+// same analyzer and a fact of the same concrete type retrieve it.
+func (s *FactStore) export(analyzer, key string, fact Fact) {
+	if fact == nil || reflect.TypeOf(fact).Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("fact %T is not a pointer", fact))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts[factKey{analyzer, key, factType(fact)}] = fact
+}
+
+// Import copies the stored fact for (analyzer, key, type-of-fact) into
+// fact and reports whether one was found.
+func (s *FactStore) import_(analyzer, key string, fact Fact) bool {
+	s.mu.Lock()
+	stored, ok := s.facts[factKey{analyzer, key, factType(fact)}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// WirePass installs the fact accessors on pass, backed by this store.
+// pkgPath names the package being analyzed (its exports land under
+// that path). The object resolver is ObjectKey; objects that cannot be
+// canonically named are silently unsupported: exports drop, imports
+// miss.
+func (s *FactStore) WirePass(pass *Pass, pkgPath string) {
+	analyzer := pass.Analyzer.Name
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) {
+		if key, ok := ObjectKey(obj); ok {
+			s.export(analyzer, key, fact)
+		}
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact Fact) bool {
+		key, ok := ObjectKey(obj)
+		return ok && s.import_(analyzer, key, fact)
+	}
+	pass.ExportPackageFact = func(fact Fact) {
+		s.export(analyzer, "pkg:"+pkgPath, fact)
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, fact Fact) bool {
+		if pkg == nil {
+			return false
+		}
+		return s.import_(analyzer, "pkg:"+pkg.Path(), fact)
+	}
+	pass.AllObjectFacts = func() []ObjectFact {
+		// The shim cannot map canonical names back to objects without
+		// the defining package's scope; expose the current package's
+		// facts by looking up each nameable scope member.
+		var out []ObjectFact
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			s.appendFactsFor(analyzer, obj, &out)
+			if tn, ok := obj.(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					for i := 0; i < named.NumMethods(); i++ {
+						s.appendFactsFor(analyzer, named.Method(i), &out)
+					}
+				}
+			}
+		}
+		return out
+	}
+	pass.AllPackageFacts = func() []PackageFact {
+		var out []PackageFact
+		s.mu.Lock()
+		keys := make([]factKey, 0)
+		for k := range s.facts {
+			if k.analyzer == analyzer && k.object == "pkg:"+pkgPath {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].typ < keys[j].typ })
+		for _, k := range keys {
+			out = append(out, PackageFact{Package: pass.Pkg, Fact: s.facts[k]})
+		}
+		s.mu.Unlock()
+		return out
+	}
+}
+
+func (s *FactStore) appendFactsFor(analyzer string, obj types.Object, out *[]ObjectFact) {
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	var typs []string
+	for k := range s.facts {
+		if k.analyzer == analyzer && k.object == key {
+			typs = append(typs, k.typ)
+		}
+	}
+	sort.Strings(typs)
+	for _, t := range typs {
+		*out = append(*out, ObjectFact{Object: obj, Fact: s.facts[factKey{analyzer, key, t}]})
+	}
+	s.mu.Unlock()
+}

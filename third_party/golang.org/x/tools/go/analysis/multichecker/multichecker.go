@@ -34,9 +34,25 @@
 // stderr and fail the run only under -baseline-strict, the mode CI
 // uses so the file cannot rot. -write-baseline regenerates the file
 // from the current warn-tier findings.
+//
+// # Facts, fixes, and timings
+//
+// Packages are analyzed in dependency order and each analyzer gets an
+// in-memory fact store (see analysis.FactStore), so analyzers that
+// export per-function summaries can consume them when analyzing the
+// packages that import those functions.
+//
+// -fix applies analyzers' machine-applicable SuggestedFixes to the
+// source files (never outside the module root) and exits 0; -fix -diff
+// prints a unified diff instead of rewriting anything. -list prints
+// the analyzer catalogue (name, severity, one-line doc; JSON array
+// with -json) and exits. -timings reports per-analyzer wall time; with
+// -json the output becomes an object {"findings": […], "timings": […],
+// "total_millis": n} instead of the flat findings array.
 package multichecker
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +62,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/internal/goloader"
@@ -76,6 +93,17 @@ type Config struct {
 	WriteBaseline bool
 	// BaselineStrict makes stale baseline entries fail the run.
 	BaselineStrict bool
+	// Fix applies analyzers' suggested fixes to files under the module
+	// root; the run exits 0 (remediation, not gating).
+	Fix bool
+	// FixDiff, with Fix, prints a unified diff instead of writing files.
+	FixDiff bool
+	// List prints the analyzer catalogue and exits without loading any
+	// packages.
+	List bool
+	// Timings reports per-analyzer wall time; with JSON output the
+	// findings array is wrapped in an object alongside the timings.
+	Timings bool
 }
 
 // baselineFile is the on-disk shape of the baseline.
@@ -108,8 +136,12 @@ func MainWithConfig(cfg Config, analyzers ...*analysis.Analyzer) {
 	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline from current warn-tier findings")
 	strictFlag := flag.Bool("baseline-strict", false, "fail when the baseline has stale entries (CI mode)")
 	severityFlag := flag.String("severity", "", "override severities: name=error|warn,… ")
+	fixFlag := flag.Bool("fix", false, "apply analyzers' suggested fixes to the source files and exit 0")
+	diffFlag := flag.Bool("diff", false, "with -fix, print a unified diff instead of rewriting files")
+	listFlag := flag.Bool("list", false, "print the analyzer catalogue (with -json, as a JSON array) and exit")
+	timingsFlag := flag.Bool("timings", false, "report per-analyzer wall time (with -json, wraps findings in an object)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-json] [-baseline file] [-write-baseline] [-baseline-strict] [-severity name=level,…] [packages...]\n\nRegistered analyzers:\n", os.Args[0])
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [-json] [-list] [-fix [-diff]] [-timings] [-baseline file] [-write-baseline] [-baseline-strict] [-severity name=level,…] [packages...]\n\nRegistered analyzers:\n", os.Args[0])
 		for _, a := range analyzers {
 			sev := severityOf(cfg.Severities, a.Name)
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s [%s] %s\n", a.Name, sev, firstSentence(a.Doc))
@@ -123,6 +155,14 @@ func MainWithConfig(cfg Config, analyzers ...*analysis.Analyzer) {
 	cfg.Baseline = *baselineFlag
 	cfg.WriteBaseline = *writeBaseline
 	cfg.BaselineStrict = *strictFlag
+	cfg.Fix = *fixFlag
+	cfg.FixDiff = *diffFlag
+	cfg.List = *listFlag
+	cfg.Timings = *timingsFlag
+	if cfg.FixDiff && !cfg.Fix {
+		fmt.Fprintln(os.Stderr, "ocdlint: -diff requires -fix")
+		os.Exit(1)
+	}
 	if *severityFlag != "" {
 		if cfg.Severities == nil {
 			cfg.Severities = make(map[string]string)
@@ -160,19 +200,30 @@ type diag struct {
 	name     string
 	pkg      string
 	severity string
+	fixes    []analysis.SuggestedFix
 }
 
 // RunWithConfig is Run with severity tiers and baseline handling.
 func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, asJSON bool, cfg Config) int {
+	if cfg.List {
+		return printCatalogue(w, analyzers, cfg.Severities, asJSON)
+	}
 	pkgs, err := goloader.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ocdlint:", err)
 		return 1
 	}
+	// Dependency order, so fact-exporting analyzers see their callees'
+	// summaries before analyzing the callers.
+	pkgs = topoSort(pkgs)
 	base := moduleRoot()
+	store := analysis.NewFactStore()
+	elapsed := make(map[string]time.Duration, len(analyzers))
 
+	var fset *token.FileSet
 	var diags []diag
 	for _, pkg := range pkgs {
+		fset = pkg.Fset
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:   a,
@@ -183,6 +234,7 @@ func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyze
 				TypesSizes: pkg.TypesSizes,
 				ResultOf:   make(map[*analysis.Analyzer]interface{}),
 			}
+			store.WirePass(pass, pkg.ImportPath)
 			name, pkgPath := a.Name, pkg.ImportPath
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -193,9 +245,13 @@ func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyze
 					name:     name,
 					pkg:      pkgPath,
 					severity: severityOf(cfg.Severities, name),
+					fixes:    d.SuggestedFixes,
 				})
 			}
-			if _, err := a.Run(pass); err != nil {
+			start := time.Now()
+			_, err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "ocdlint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 1
 			}
@@ -269,6 +325,20 @@ func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyze
 		}
 	}
 
+	if cfg.Fix {
+		nEdits, nFiles, err := applyFixes(w, fset, active, base, cfg.FixDiff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocdlint: applying fixes:", err)
+			return 1
+		}
+		if cfg.FixDiff {
+			fmt.Fprintf(os.Stderr, "ocdlint: %d fixes in %d files (dry run, no files written)\n", nEdits, nFiles)
+		} else {
+			fmt.Fprintf(os.Stderr, "ocdlint: applied %d fixes to %d files\n", nEdits, nFiles)
+		}
+		return 0
+	}
+
 	if asJSON {
 		out := make([]JSONDiagnostic, 0, len(active))
 		for _, d := range active {
@@ -289,13 +359,25 @@ func RunWithConfig(w io.Writer, patterns []string, analyzers []*analysis.Analyze
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "\t")
-		if err := enc.Encode(out); err != nil {
+		if cfg.Timings {
+			// Object shape, deliberately distinct from the flat findings
+			// array so plain -json stays byte-stable for CI consumers.
+			if err := enc.Encode(timedOutput(out, analyzers, elapsed)); err != nil {
+				fmt.Fprintln(os.Stderr, "ocdlint: encoding json:", err)
+				return 1
+			}
+		} else if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "ocdlint: encoding json:", err)
 			return 1
 		}
 	} else {
 		for _, d := range active {
 			fmt.Fprintf(w, "%s:%d:%d: [%s] %s (%s)\n", d.relFile, d.pos.Line, d.pos.Column, d.severity, d.msg, d.name)
+		}
+		if cfg.Timings {
+			for _, t := range timings(analyzers, elapsed) {
+				fmt.Fprintf(os.Stderr, "ocdlint: timing %-14s %8.1fms\n", t.Analyzer, t.Millis)
+			}
 		}
 	}
 
@@ -394,6 +476,342 @@ func writeBaselineFile(path string, diags []diag) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// topoSort orders packages so every package follows the packages it
+// imports (edges restricted to the loaded set). Input is sorted by
+// import path, and the DFS visits in that order, so the result is
+// deterministic.
+func topoSort(pkgs []*goloader.Package) []*goloader.Package {
+	byPath := make(map[string]*goloader.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*goloader.Package, 0, len(pkgs))
+	var visit func(p *goloader.Package)
+	visit = func(p *goloader.Package) {
+		if seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// A CatalogueEntry is one analyzer in -list -json output.
+type CatalogueEntry struct {
+	Name     string `json:"name"`
+	Severity string `json:"severity"`
+	Doc      string `json:"doc"`
+}
+
+func printCatalogue(w io.Writer, analyzers []*analysis.Analyzer, sev map[string]string, asJSON bool) int {
+	if asJSON {
+		out := make([]CatalogueEntry, 0, len(analyzers))
+		for _, a := range analyzers {
+			out = append(out, CatalogueEntry{Name: a.Name, Severity: severityOf(sev, a.Name), Doc: firstSentence(a.Doc)})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ocdlint: encoding json:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "%-16s %-6s %s\n", a.Name, severityOf(sev, a.Name), firstSentence(a.Doc))
+	}
+	return 0
+}
+
+// A TimingEntry is one analyzer's wall time in -timings output.
+type TimingEntry struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+}
+
+// A TimedOutput is the object emitted by -json -timings.
+type TimedOutput struct {
+	Findings    []JSONDiagnostic `json:"findings"`
+	Timings     []TimingEntry    `json:"timings"`
+	TotalMillis float64          `json:"total_millis"`
+}
+
+func timings(analyzers []*analysis.Analyzer, elapsed map[string]time.Duration) []TimingEntry {
+	out := make([]TimingEntry, 0, len(analyzers))
+	for _, a := range analyzers {
+		out = append(out, TimingEntry{Analyzer: a.Name, Millis: float64(elapsed[a.Name].Microseconds()) / 1000})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Analyzer < out[j].Analyzer })
+	return out
+}
+
+func timedOutput(findings []JSONDiagnostic, analyzers []*analysis.Analyzer, elapsed map[string]time.Duration) TimedOutput {
+	ts := timings(analyzers, elapsed)
+	total := 0.0
+	for _, t := range ts {
+		total += t.Millis
+	}
+	return TimedOutput{Findings: findings, Timings: ts, TotalMillis: total}
+}
+
+// applyFixes applies (or, with diff, renders) the suggested fixes
+// attached to diags. Edits are grouped per file, sorted by offset;
+// exact duplicates (several findings proposing the same edit) collapse
+// to one, overlapping edits are skipped with a note, and any edit to a
+// file outside the module root is refused. Returns the number of edits
+// applied and files touched.
+func applyFixes(w io.Writer, fset *token.FileSet, diags []diag, base string, diff bool) (int, int, error) {
+	if fset == nil {
+		return 0, 0, nil
+	}
+	type pendingEdit struct {
+		start, end int
+		newText    []byte
+	}
+	byFile := make(map[string][]pendingEdit)
+	for _, d := range diags {
+		for _, fix := range d.fixes {
+			for _, e := range fix.TextEdits {
+				pos := fset.Position(e.Pos)
+				if !pos.IsValid() {
+					continue
+				}
+				end := pos.Offset
+				if e.End.IsValid() {
+					endPos := fset.Position(e.End)
+					if endPos.Filename != pos.Filename {
+						fmt.Fprintf(os.Stderr, "ocdlint: skipping fix spanning files: %s\n", pos.Filename)
+						continue
+					}
+					end = endPos.Offset
+				}
+				if _, ok := underRoot(base, pos.Filename); !ok {
+					fmt.Fprintf(os.Stderr, "ocdlint: refusing fix outside module root: %s\n", pos.Filename)
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], pendingEdit{pos.Offset, end, e.NewText})
+			}
+		}
+	}
+
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	nEdits, nFiles := 0, 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nEdits, nFiles, err
+		}
+		edits := byFile[path]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		var applied []pendingEdit
+		last := -1
+		for _, e := range edits {
+			if e.start < 0 || e.end < e.start || e.end > len(src) {
+				fmt.Fprintf(os.Stderr, "ocdlint: skipping out-of-range fix in %s\n", path)
+				continue
+			}
+			if n := len(applied); n > 0 && applied[n-1].start == e.start && applied[n-1].end == e.end && bytes.Equal(applied[n-1].newText, e.newText) {
+				continue // same edit proposed by several findings
+			}
+			if e.start < last {
+				fmt.Fprintf(os.Stderr, "ocdlint: skipping overlapping fix in %s at offset %d\n", path, e.start)
+				continue
+			}
+			applied = append(applied, e)
+			last = e.end
+		}
+		if len(applied) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		prev := 0
+		for _, e := range applied {
+			buf.Write(src[prev:e.start])
+			buf.Write(e.newText)
+			prev = e.end
+		}
+		buf.Write(src[prev:])
+		if bytes.Equal(buf.Bytes(), src) {
+			continue
+		}
+		rel, _ := underRoot(base, path)
+		if diff {
+			fmt.Fprint(w, unifiedDiff(rel, src, buf.Bytes()))
+		} else if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return nEdits, nFiles, err
+		}
+		nEdits += len(applied)
+		nFiles++
+	}
+	return nEdits, nFiles, nil
+}
+
+// underRoot reports whether file lies under the module root, returning
+// the slash-relative path when it does.
+func underRoot(base, file string) (string, bool) {
+	if base == "" {
+		return file, false
+	}
+	abs := file
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(base, abs)
+	}
+	rel, err := filepath.Rel(base, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return file, false
+	}
+	return filepath.ToSlash(rel), true
+}
+
+// unifiedDiff renders a unified diff (3 lines of context) between the
+// old and new contents of one file, using a line-level LCS.
+func unifiedDiff(path string, a, b []byte) string {
+	al, bl := splitLines(a), splitLines(b)
+	n, m := len(al), len(bl)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			switch {
+			case al[i] == bl[j]:
+				dp[i][j] = dp[i+1][j+1] + 1
+			case dp[i+1][j] >= dp[i][j+1]:
+				dp[i][j] = dp[i+1][j]
+			default:
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		line string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			ops = append(ops, op{' ', al[i]})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			ops = append(ops, op{'-', al[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', bl[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', al[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', bl[j]})
+	}
+
+	const ctxLines = 3
+	keep := make([]bool, len(ops))
+	for idx, o := range ops {
+		if o.kind != ' ' {
+			for d := idx - ctxLines; d <= idx+ctxLines; d++ {
+				if d >= 0 && d < len(ops) {
+					keep[d] = true
+				}
+			}
+		}
+	}
+	aLine := make([]int, len(ops))
+	bLine := make([]int, len(ops))
+	ai, bi := 1, 1
+	for idx, o := range ops {
+		aLine[idx], bLine[idx] = ai, bi
+		switch o.kind {
+		case ' ':
+			ai++
+			bi++
+		case '-':
+			ai++
+		case '+':
+			bi++
+		}
+	}
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- a/%s\n+++ b/%s\n", path, path)
+	idx := 0
+	for idx < len(ops) {
+		if !keep[idx] {
+			idx++
+			continue
+		}
+		start := idx
+		for idx < len(ops) && keep[idx] {
+			idx++
+		}
+		aLen, bLen := 0, 0
+		for k := start; k < idx; k++ {
+			switch ops[k].kind {
+			case ' ':
+				aLen++
+				bLen++
+			case '-':
+				aLen++
+			case '+':
+				bLen++
+			}
+		}
+		aStart, bStart := aLine[start], bLine[start]
+		if aLen == 0 {
+			aStart--
+		}
+		if bLen == 0 {
+			bStart--
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n", aStart, aLen, bStart, bLen)
+		for k := start; k < idx; k++ {
+			out.WriteByte(ops[k].kind)
+			out.WriteString(ops[k].line)
+			if !strings.HasSuffix(ops[k].line, "\n") {
+				out.WriteString("\n")
+			}
+		}
+	}
+	return out.String()
+}
+
+func splitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
 }
 
 func firstSentence(doc string) string {

@@ -33,6 +33,11 @@ type Package struct {
 	Dir        string
 	GoFiles    []string
 
+	// Imports holds the import paths this package depends on, as
+	// reported by go list; drivers use it to process packages in
+	// dependency order.
+	Imports []string
+
 	Fset      *token.FileSet
 	Syntax    []*ast.File
 	Types     *types.Package
@@ -52,6 +57,7 @@ type listedPackage struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -142,6 +148,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, sizes types.Sizes, lp *l
 		Name:       lp.Name,
 		Dir:        lp.Dir,
 		GoFiles:    names,
+		Imports:    lp.Imports,
 		Fset:       fset,
 		Syntax:     files,
 		TypesInfo:  info,

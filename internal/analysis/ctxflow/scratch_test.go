@@ -1,0 +1,29 @@
+package ctxflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/ctxflow"
+)
+
+func TestScratchNestedLitFix(t *testing.T) {
+	orig := ctxflow.Analyzer.Run
+	ctxflow.Analyzer.Run = func(pass *analysis.Pass) (interface{}, error) {
+		rep := pass.Report
+		pass.Report = func(d analysis.Diagnostic) {
+			for _, f := range d.SuggestedFixes {
+				for _, e := range f.TextEdits {
+					fmt.Printf("FIX OFFERED: %q at %v\n", e.NewText, pass.Fset.Position(e.Pos))
+				}
+			}
+			rep(d)
+		}
+		return orig(pass)
+	}
+	defer func() { ctxflow.Analyzer.Run = orig }()
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "cfix2")
+}

@@ -1,0 +1,13 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"ocd/internal/analysis/goroutineleak"
+)
+
+func TestScratchConditional(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutineleak.Analyzer, "scratch")
+}

@@ -1,0 +1,19 @@
+package scratch
+
+var debug bool
+
+func spin() {
+	for {
+	}
+}
+
+// maybeSpin only spins when debug is set; otherwise it returns.
+func maybeSpin() {
+	if debug {
+		spin()
+	}
+}
+
+func Spawn() {
+	go maybeSpin() // want `goroutine has no provable exit`
+}

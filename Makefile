@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json lint-fix lint-fix-diff lint-baseline lint-timings chaos resume-chaos fuzz bench bench-smoke check
+.PHONY: build test race lint lint-json lint-fix lint-fix-diff lint-baseline lint-timings chaos resume-chaos serve-chaos fuzz bench bench-smoke check
 
 build:
 	go build ./...
@@ -55,6 +55,13 @@ chaos:
 # the output against an uninterrupted run (docs/ROBUSTNESS.md).
 resume-chaos:
 	scripts/resume_chaos.sh
+
+# serve-chaos crashes a faultinject ocdserve mid-job, restarts it on the
+# same data directory, and requires resumed results byte-identical to an
+# uninterrupted server, a poison job failed after max-attempts, and a
+# clean SIGTERM drain (docs/SERVICE.md).
+serve-chaos:
+	scripts/serve_chaos.sh
 
 fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/

@@ -78,6 +78,12 @@ func Point(name string) {
 	if !fire {
 		return
 	}
+	firePlain(name, a, n)
+}
+
+// firePlain executes the non-HTTP actions of an armed point whose trigger
+// matched on hit n; HTTP-only actions are ignored at plain Point sites.
+func firePlain(name string, a *armed, n int64) {
 	switch a.rule.Action {
 	case ActionPanic:
 		// lint:allow panic — the whole purpose of this build-tagged package

@@ -47,6 +47,14 @@ const (
 	// for crash-and-resume tests driven from scripts via ArmFromEnv; it is
 	// never what an in-process test wants (use ActionPanic there).
 	ActionExit
+	// ActionHTTPError makes HTTPPoint answer the request with a 500 and
+	// report it handled, simulating a handler-level failure without
+	// touching the job state behind it.
+	ActionHTTPError
+	// ActionHTTPDrop makes HTTPPoint write a partial response body, flush
+	// it, and abort the connection (via http.ErrAbortHandler), simulating
+	// a server that dies mid-response. Clients see a truncated body.
+	ActionHTTPDrop
 )
 
 // ExitCode is the status an ActionExit point terminates the process with;
@@ -56,11 +64,17 @@ const ExitCode = 86
 
 // EnvVar is the environment variable ArmFromEnv reads. The value is a
 // semicolon-separated list of `point:action:nth` specs, where action is
-// "panic" or "exit" and nth is the 1-based hit that fires it, e.g.
+// "panic", "exit", "http500" or "drop", and nth is the 1-based hit that
+// fires it — or "*" to fire on every hit. E.g.
 //
 //	OCD_FAULT="core.level.start:exit:2"
 //
-// kills the process when the traversal reaches the second level.
+// kills the process when the traversal reaches the second level, and
+//
+//	OCD_FAULT="jobs.run.poison:panic:*"
+//
+// panics every attempt of the job named "poison" (the serve-chaos poison
+// job). The HTTP actions only fire at HTTPPoint sites.
 const EnvVar = "OCD_FAULT"
 
 // String names the action.
@@ -74,11 +88,16 @@ func (a Action) String() string {
 		return "cancel"
 	case ActionExit:
 		return "exit"
+	case ActionHTTPError:
+		return "http500"
+	case ActionHTTPDrop:
+		return "drop"
 	}
 	return "unknown"
 }
 
 // ParseSpec parses one `point:action:nth` element of the EnvVar format.
+// nth is a positive 1-based hit number, or "*" to fire on every hit.
 func ParseSpec(spec string) (point string, r Rule, err error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 || parts[0] == "" {
@@ -89,12 +108,20 @@ func ParseSpec(spec string) (point string, r Rule, err error) {
 		r.Action = ActionPanic
 	case "exit":
 		r.Action = ActionExit
+	case "http500":
+		r.Action = ActionHTTPError
+	case "drop":
+		r.Action = ActionHTTPDrop
 	default:
-		return "", Rule{}, fmt.Errorf("faultinject: bad action %q in %q, want panic or exit", parts[1], spec)
+		return "", Rule{}, fmt.Errorf("faultinject: bad action %q in %q, want panic, exit, http500 or drop", parts[1], spec)
+	}
+	if parts[2] == "*" {
+		r.EveryK = 1
+		return parts[0], r, nil
 	}
 	n, err := strconv.ParseInt(parts[2], 10, 64)
 	if err != nil || n < 1 {
-		return "", Rule{}, fmt.Errorf("faultinject: bad nth %q in %q, want a positive integer", parts[2], spec)
+		return "", Rule{}, fmt.Errorf("faultinject: bad nth %q in %q, want a positive integer or *", parts[2], spec)
 	}
 	r.Nth = n
 	return parts[0], r, nil

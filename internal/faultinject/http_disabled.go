@@ -1,0 +1,11 @@
+//go:build !faultinject
+
+package faultinject
+
+import "net/http"
+
+// HTTPPoint is the HTTP-layer injection hook; handlers place it at the top
+// of an endpoint and return early when it reports the request handled.
+// Without the faultinject build tag it is a no-op that never handles the
+// request, so production handlers pay a single inlined call.
+func HTTPPoint(string, http.ResponseWriter) bool { return false }

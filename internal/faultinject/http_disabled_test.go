@@ -1,0 +1,50 @@
+//go:build !faultinject
+
+package faultinject
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPPointDisabledIsInert pins the production contract of the HTTP
+// hook: without the build tag, HTTPPoint never handles the request and
+// never touches the ResponseWriter, even when a caller "armed" the point
+// (Arm is itself a no-op untagged). Handlers can therefore gate every
+// endpoint on it unconditionally.
+func TestHTTPPointDisabledIsInert(t *testing.T) {
+	Arm("jobs.http.submit", Rule{Action: ActionHTTPError, EveryK: 1})
+	defer Reset()
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		if HTTPPoint("jobs.http.submit", rec) {
+			t.Fatal("HTTPPoint handled a request on an untagged build")
+		}
+		if rec.Body.Len() != 0 || rec.Code != 200 {
+			t.Fatalf("HTTPPoint wrote to the ResponseWriter: code %d, body %q", rec.Code, rec.Body.String())
+		}
+	}
+	if Hits("jobs.http.submit") != 0 {
+		t.Fatal("untagged build kept hit state")
+	}
+}
+
+// TestParseSpecHTTPActions: the env-spec format accepts the HTTP actions
+// and the every-hit trigger on any build (parsing is tag-independent; only
+// firing is gated).
+func TestParseSpecHTTPActions(t *testing.T) {
+	point, rule, err := ParseSpec("jobs.http.result:http500:2")
+	if err != nil || point != "jobs.http.result" || rule.Action != ActionHTTPError || rule.Nth != 2 {
+		t.Fatalf("http500 spec: point %q rule %+v err %v", point, rule, err)
+	}
+	point, rule, err = ParseSpec("jobs.http.result:drop:*")
+	if err != nil || point != "jobs.http.result" || rule.Action != ActionHTTPDrop || rule.EveryK != 1 || rule.Nth != 0 {
+		t.Fatalf("drop:* spec: point %q rule %+v err %v", point, rule, err)
+	}
+	if _, _, err := ParseSpec("p:http500:0"); err == nil {
+		t.Fatal("nth 0 must be rejected")
+	}
+	if _, _, err := ParseSpec("p:stall:1"); err == nil {
+		t.Fatal("stall is Arm-only (needs a duration), not scriptable")
+	}
+}

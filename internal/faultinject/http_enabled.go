@@ -1,0 +1,66 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTPPoint is the HTTP-layer injection hook; handlers place it at the top
+// of an endpoint and return early when it reports the request handled.
+//
+// Armed actions behave as:
+//
+//	ActionHTTPError  write a 500 with a body naming the point; handled.
+//	ActionHTTPDrop   write a partial body, flush, then abort the
+//	                 connection via http.ErrAbortHandler — the client
+//	                 sees a truncated response; never returns.
+//	ActionDelay      stall the handler for Rule.Delay, then let the
+//	                 request proceed (a hung-handler simulation).
+//	ActionPanic      panic with PanicValue, exercising the server's
+//	                 per-connection recovery; never returns.
+//
+// Other actions (exit, cancel) behave exactly as at a plain Point.
+func HTTPPoint(name string, w http.ResponseWriter) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	v, ok := points.Load(name)
+	if !ok {
+		return false
+	}
+	a := v.(*armed)
+	n := a.hits.Add(1)
+	fire := (a.rule.Nth > 0 && n == a.rule.Nth) ||
+		(a.rule.EveryK > 0 && n%a.rule.EveryK == 0)
+	if !fire {
+		return false
+	}
+	switch a.rule.Action {
+	case ActionHTTPError:
+		http.Error(w, "fault injected at "+name, http.StatusInternalServerError)
+		return true
+	case ActionHTTPDrop:
+		// A mid-body death: some bytes reach the client, then the
+		// connection is torn down. http.ErrAbortHandler is the stdlib
+		// server's sanctioned way to abort without a stack-trace log.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, `{"partial":true,"point":%q`, name)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// lint:allow panic — controlled abort; net/http recognizes
+		// ErrAbortHandler and closes the connection quietly.
+		panic(http.ErrAbortHandler)
+	case ActionDelay:
+		time.Sleep(a.rule.Delay)
+		return false
+	default:
+		// Non-HTTP actions at an HTTP site behave like a plain Point hit
+		// (the counter increment above already happened).
+		firePlain(name, a, n)
+		return false
+	}
+}

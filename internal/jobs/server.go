@@ -1,0 +1,303 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ocd/internal/faultinject"
+)
+
+// Server is the HTTP face of a Manager. Routes (Go 1.22+ pattern syntax):
+//
+//	POST   /jobs                submit a CSV body, returns the job status
+//	GET    /jobs                catalog of all jobs
+//	GET    /jobs/{id}           status + live progress
+//	GET    /jobs/{id}/result    the result document
+//	POST   /jobs/{id}/cancel    cooperative cancel
+//	POST   /jobs/{id}/simplify  ORDER BY simplification over the dataset
+//	DELETE /jobs/{id}           remove the job and its directory
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             the manager's metrics registry as JSON
+//
+// Every route passes a faultinject HTTP point ("jobs.http.<route>") so the
+// chaos harness can stall handlers, fail them with 500s, or drop responses
+// mid-body under the faultinject build tag; in normal builds the points
+// compile to nothing.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes for m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /jobs/{id}/simplify", s.handleSimplify)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorDoc is the JSON error body: a message plus a stable machine-readable
+// kind so clients branch without parsing prose.
+type errorDoc struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is out; nothing left to do but note it server-side.
+		_ = err // lint:allow errdrop — response already committed
+	}
+}
+
+// writeError maps a manager error to a typed HTTP rejection. 429/503 carry
+// a Retry-After hint so well-behaved clients back off instead of hammering.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code, kind := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, ErrDraining):
+		code, kind = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrQueueFull):
+		code, kind = http.StatusTooManyRequests, "queue-full"
+	case errors.Is(err, ErrTooLarge):
+		code, kind = http.StatusRequestEntityTooLarge, "too-large"
+	case errors.Is(err, ErrNotFound):
+		code, kind = http.StatusNotFound, "not-found"
+	case errors.Is(err, ErrNoResult):
+		code, kind = http.StatusConflict, "no-result"
+	case errors.Is(err, ErrBadInput):
+		code, kind = http.StatusBadRequest, "bad-input"
+	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		secs := int(s.m.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, errorDoc{Error: err.Error(), Kind: kind})
+}
+
+// parseJobOptions reads the submission query parameters. Every option is
+// optional; errors wrap ErrBadInput.
+func parseJobOptions(r *http.Request) (JobOptions, error) {
+	q := r.URL.Query()
+	var opts JobOptions
+	var err error
+	intParam := func(name string, dst *int) {
+		if err != nil || q.Get(name) == "" {
+			return
+		}
+		v, perr := strconv.Atoi(q.Get(name))
+		if perr != nil || v < 0 {
+			err = fmt.Errorf("%w: bad %s %q", ErrBadInput, name, q.Get(name))
+			return
+		}
+		*dst = v
+	}
+	boolParam := func(name string, dst *bool) {
+		if err != nil || q.Get(name) == "" {
+			return
+		}
+		v, perr := strconv.ParseBool(q.Get(name))
+		if perr != nil {
+			err = fmt.Errorf("%w: bad %s %q", ErrBadInput, name, q.Get(name))
+			return
+		}
+		*dst = v
+	}
+	intParam("workers", &opts.Workers)
+	intParam("max-level", &opts.MaxLevel)
+	intParam("expand", &opts.ExpandLimit)
+	boolParam("sorted-partitions", &opts.UseSortedPartitions)
+	boolParam("force-string", &opts.ForceString)
+	boolParam("no-header", &opts.NoHeader)
+	if err != nil {
+		return opts, err
+	}
+	if v := q.Get("max-candidates"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n < 0 {
+			return opts, fmt.Errorf("%w: bad max-candidates %q", ErrBadInput, v)
+		}
+		opts.MaxCandidates = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, perr := time.ParseDuration(v)
+		if perr != nil || d < 0 {
+			return opts, fmt.Errorf("%w: bad timeout %q", ErrBadInput, v)
+		}
+		opts.Timeout = d
+	}
+	if v := q.Get("columns"); v != "" {
+		opts.Columns = splitColumns(v)
+	}
+	if v := q.Get("sep"); v != "" {
+		opts.Delimiter = v
+	}
+	return opts, nil
+}
+
+func splitColumns(v string) []string {
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.submit", w) {
+		return
+	}
+	opts, err := parseJobOptions(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.m.Submit(r.Context(), r.URL.Query().Get("name"), r.Body, opts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	doc, err := s.m.Status(j.ID())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, doc)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.list", w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.status", w) {
+		return
+	}
+	doc, err := s.m.Status(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.result", w) {
+		return
+	}
+	data, err := s.m.Result(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		_ = err // lint:allow errdrop — client went away mid-response
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.cancel", w) {
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.m.Cancel(id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	doc, err := s.m.Status(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, doc)
+}
+
+func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.simplify", w) {
+		return
+	}
+	cols := splitColumns(r.URL.Query().Get("columns"))
+	doc, err := s.m.SimplifyOrderBy(r.Context(), r.PathValue("id"), cols)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.delete", w) {
+		return
+	}
+	done, err := s.m.Delete(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if done {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	// Running: cancellation is in flight, removal follows when the attempt
+	// observes it.
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "deleting"})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.healthz", w) {
+		return
+	}
+	h := s.m.Health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.metrics", w) {
+		return
+	}
+	data, err := s.m.MetricsJSON()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		_ = err // lint:allow errdrop — client went away mid-response
+	}
+}

@@ -20,7 +20,10 @@ type CSVOptions struct {
 	Options
 }
 
-// ReadCSV parses CSV data into a relation.
+// ReadCSV parses CSV data into a relation. When opts.Stop is set it is
+// polled every few hundred records, so a cancelled caller (a deleted
+// discovery job, a closed connection) aborts ingestion promptly instead of
+// parsing input it will never use; the error then wraps ErrStopped.
 func ReadCSV(src io.Reader, name string, opts CSVOptions) (*Relation, error) {
 	span := opts.Trace.StartChild("parse")
 	cr := csv.NewReader(src)
@@ -28,7 +31,7 @@ func ReadCSV(src io.Reader, name string, opts CSVOptions) (*Relation, error) {
 		cr.Comma = opts.Comma
 	}
 	cr.FieldsPerRecord = -1 // validated below with a clearer error
-	records, err := cr.ReadAll()
+	records, err := readRecords(cr, opts.Stop)
 	span.SetAttr("records", int64(len(records)))
 	span.End()
 	if err != nil {
@@ -55,6 +58,26 @@ func ReadCSV(src io.Reader, name string, opts CSVOptions) (*Relation, error) {
 		}
 	}
 	return FromStrings(name, header, rows, opts.Options)
+}
+
+// readRecords reads all CSV records like csv.Reader.ReadAll, polling stop
+// every stopEvery records. ReadAll's one-shot error contract is kept: the
+// records parsed before a failure are returned alongside the error.
+func readRecords(cr *csv.Reader, stop func() bool) ([][]string, error) {
+	var records [][]string
+	for {
+		if stop != nil && len(records)%stopEvery == 0 && stop() {
+			return records, fmt.Errorf("after %d records: %w", len(records), ErrStopped)
+		}
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return records, err
+		}
+		records = append(records, rec)
+	}
 }
 
 // ReadCSVFile parses the CSV file at path; the relation is named after the

@@ -41,17 +41,17 @@ func TestCSVRaggedRowErrorIsOneBased(t *testing.T) {
 // Type inference normally downgrades a column before encoding can fail, so
 // this exercises the defensive path directly.
 func TestCoercionErrorReportsRow(t *testing.T) {
-	_, _, _, _, err := encodeColumn([]string{"1", "2", "x"}, KindInt, nil)
+	_, _, _, _, err := encodeColumn([]string{"1", "2", "x"}, KindInt, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), `row 3: value "x" does not parse as INTEGER`) {
 		t.Fatalf("int: err = %v, want row 3", err)
 	}
-	_, _, _, _, err = encodeColumn([]string{"1.5", "y", "2.5"}, KindFloat, nil)
+	_, _, _, _, err = encodeColumn([]string{"1.5", "y", "2.5"}, KindFloat, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), `row 2: value "y" does not parse as REAL`) {
 		t.Fatalf("float: err = %v, want row 2", err)
 	}
 	// Duplicates are deduped during encoding; the reported row must still be
 	// the first occurrence of the failing value.
-	_, _, _, _, err = encodeColumn([]string{"1", "x", "x"}, KindInt, nil)
+	_, _, _, _, err = encodeColumn([]string{"1", "x", "x"}, KindInt, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "row 2:") {
 		t.Fatalf("dedup: err = %v, want first occurrence row 2", err)
 	}

@@ -11,6 +11,7 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,16 @@ import (
 	"ocd/internal/attr"
 	"ocd/internal/obs"
 )
+
+// ErrStopped is the sentinel wrapped into ingestion errors when
+// Options.Stop reported true mid-parse or mid-encode. Use errors.Is to
+// distinguish a cooperative abort from malformed input.
+var ErrStopped = errors.New("relation: ingestion stopped")
+
+// stopEvery is the row cadence of Options.Stop polls inside the parse and
+// encode loops: frequent enough that a cancel lands within microseconds on
+// wide rows, cheap enough to vanish against the per-row work.
+const stopEvery = 1024
 
 // Kind is the inferred type of a column.
 type Kind int
@@ -65,6 +76,12 @@ type Options struct {
 	// its "parse" (CSV read) and "rank-encode" (type inference + encoding)
 	// phase spans. Nil disables tracing.
 	Trace *obs.Span
+	// Stop, when non-nil, is polled periodically during CSV parsing and
+	// rank encoding; when it reports true, ingestion aborts promptly with
+	// an error wrapping ErrStopped. A cancelled or deleted job must not
+	// keep parsing a multi-gigabyte CSV it will never use. Typically
+	// derived from a context: func() bool { return ctx.Err() != nil }.
+	Stop func() bool
 }
 
 func (o Options) nullSet() map[string]bool {
@@ -195,6 +212,9 @@ func FromStrings(name string, colNames []string, rows [][]string, opts Options) 
 	}
 	nulls := opts.nullSet()
 	for c := 0; c < nc; c++ {
+		if opts.Stop != nil && opts.Stop() {
+			return nil, fmt.Errorf("relation %s: rank-encode column %d: %w", name, c+1, ErrStopped)
+		}
 		raw := make([]string, len(rows))
 		for i, row := range rows {
 			raw[i] = row[c]
@@ -203,7 +223,7 @@ func FromStrings(name string, colNames []string, rows [][]string, opts Options) 
 		if !opts.ForceString {
 			kind = inferKind(raw, nulls)
 		}
-		codes, disp, distinct, hasNull, err := encodeColumn(raw, kind, nulls)
+		codes, disp, distinct, hasNull, err := encodeColumn(raw, kind, nulls, opts.Stop)
 		if err != nil {
 			return nil, fmt.Errorf("relation %s: column %d (%s): %w", name, c+1, colNames[c], err)
 		}
@@ -329,8 +349,11 @@ func inferKind(raw []string, nulls map[string]bool) Kind {
 }
 
 // encodeColumn rank-encodes one column. Codes are dense: NULL=0 and the
-// distinct non-NULL values get 1..k in their natural order.
-func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32, display []string, distinct int, hasNull bool, err error) {
+// distinct non-NULL values get 1..k in their natural order. stop, when
+// non-nil, is polled every stopEvery rows of the value scan so a cancelled
+// ingestion aborts mid-column instead of finishing a multi-million-row
+// encode it will throw away.
+func encodeColumn(raw []string, kind Kind, nulls map[string]bool, stop func() bool) (codes []int32, display []string, distinct int, hasNull bool, err error) {
 	type entry struct {
 		s string
 		i int64
@@ -338,6 +361,9 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool) (codes []int32
 	}
 	seen := make(map[string]entry)
 	for row, s := range raw {
+		if stop != nil && row%stopEvery == 0 && stop() {
+			return nil, nil, 0, false, ErrStopped
+		}
 		if nulls[s] {
 			hasNull = true
 			continue

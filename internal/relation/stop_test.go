@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigCSV builds an in-memory synthetic CSV with the given number of rows —
+// large enough that a full parse is measurably slower than an aborted one.
+func bigCSV(rows int) string {
+	var b strings.Builder
+	b.Grow(rows * 24)
+	b.WriteString("a,b,c,d\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d,x%d\n", i, i%97, i%13, i%7)
+	}
+	return b.String()
+}
+
+// TestReadCSVStopsPromptly: a pre-cancelled stop flag aborts ingestion of a
+// large CSV before parsing it, with an error wrapping ErrStopped.
+func TestReadCSVStopsPromptly(t *testing.T) {
+	data := bigCSV(200_000)
+	start := time.Now()
+	_, err := ReadCSV(strings.NewReader(data), "big", CSVOptions{
+		Options: Options{Stop: func() bool { return true }},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	// The poll lands within the first stopEvery records; anything near a
+	// full 200k-row parse means the flag was ignored. The bound is loose
+	// (CI boxes stall) but far below a full parse + encode.
+	if elapsed > 2*time.Second {
+		t.Fatalf("stop took %v, want a prompt abort", elapsed)
+	}
+}
+
+// TestReadCSVStopMidParse: a stop armed after N polls aborts between
+// records, not only at the end.
+func TestReadCSVStopMidParse(t *testing.T) {
+	data := bigCSV(50_000)
+	polls := 0
+	_, err := ReadCSV(strings.NewReader(data), "big", CSVOptions{
+		Options: Options{Stop: func() bool {
+			polls++
+			return polls > 3 // let a few batches through, then cancel
+		}},
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// TestEncodeStopsMidColumn: a stop that arms only after parsing completes
+// still aborts during rank encoding (the per-column and per-64k-row polls).
+func TestEncodeStopsMidColumn(t *testing.T) {
+	rows := make([][]string, 30_000)
+	for i := range rows {
+		rows[i] = []string{fmt.Sprint(i), fmt.Sprint(i % 3)}
+	}
+	calls := 0
+	_, err := FromStrings("enc", []string{"a", "b"}, rows, Options{
+		Stop: func() bool { calls++; return calls > 2 },
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// TestNilStopUnaffected: ingestion without a stop flag parses exactly as
+// before (the hook must be free when unused).
+func TestNilStopUnaffected(t *testing.T) {
+	r, err := ReadCSV(strings.NewReader(bigCSV(1000)), "plain", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 1000 || r.NumCols() != 4 {
+		t.Fatalf("got %dx%d, want 1000x4", r.NumRows(), r.NumCols())
+	}
+}

@@ -1,0 +1,45 @@
+package ocd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadCSVWithCancelledContext: a pre-cancelled context aborts ingestion
+// of a large synthetic CSV promptly, and the error matches both the context
+// error and the load path — the contract the job server's delete/cancel
+// endpoints rely on so a dead job stops paying for its input parse.
+func TestLoadCSVWithCancelledContext(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("a,b,c\n")
+	for i := 0; i < 300_000; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", i, i%31, i%7)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: the load must not start real work
+
+	start := time.Now()
+	_, err := LoadCSV(strings.NewReader(b.String()), "big", WithContext(ctx))
+	if err == nil {
+		t.Fatal("load with a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled load took %v, want a prompt abort", elapsed)
+	}
+
+	// A live context loads normally through the same option.
+	tbl, err := LoadCSV(strings.NewReader("a,b\n1,2\n2,3\n"), "ok", WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tbl.NumRows())
+	}
+}

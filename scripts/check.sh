@@ -30,12 +30,18 @@
 #                                mid-snapshot-rename, resumes from the
 #                                checkpoint, and diffs the output against
 #                                an uninterrupted run
-#   7. bench smoke               scripts/bench.sh --smoke runs every
+#   7. serve chaos               scripts/serve_chaos.sh crashes a
+#                                faultinject ocdserve mid-job, restarts
+#                                it on the same data directory, and
+#                                requires byte-identical resumed results,
+#                                a poisoned crash-looping job, and a
+#                                clean SIGTERM drain
+#   8. bench smoke               scripts/bench.sh --smoke runs every
 #                                tracked benchmark once and requires the
 #                                output to parse into the trajectory
 #                                format (cmd/benchjson); full trajectory
 #                                runs stay manual (make bench)
-#   8. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
+#   9. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
 #                                FuzzCheckpointDecode for FUZZTIME each
 #                                (default 10s)
 #
@@ -74,6 +80,9 @@ go test -tags=faultinject -race ./internal/core/ ./internal/faultinject/
 
 step "chaos: kill-and-resume differential (scripts/resume_chaos.sh)"
 scripts/resume_chaos.sh
+
+step "chaos: job-server kill-and-restart differential (scripts/serve_chaos.sh)"
+scripts/serve_chaos.sh
 
 step "bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke

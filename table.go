@@ -1,6 +1,7 @@
 package ocd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,22 @@ type LoadOption func(*loadConfig)
 
 type loadConfig struct {
 	csv relation.CSVOptions
+	// ctxErr reports the WithContext context's error, so a stop-aborted
+	// load surfaces an error matching errors.Is(err, ctx.Err()).
+	ctxErr func() error
+}
+
+// wrapLoadErr attaches the cancelled context's error to a stop-aborted
+// ingestion error, so callers can match errors.Is(err, context.Canceled)
+// the same way they do for DiscoverContext.
+func (c *loadConfig) wrapLoadErr(err error) error {
+	if err == nil || c.ctxErr == nil {
+		return err
+	}
+	if ctxErr := c.ctxErr(); ctxErr != nil && errors.Is(err, relation.ErrStopped) {
+		return fmt.Errorf("%w: %w", ctxErr, err)
+	}
+	return err
 }
 
 // ForceString disables type inference: every column is ordered
@@ -56,6 +73,17 @@ func WithTrace(parent *Span) LoadOption {
 	return func(c *loadConfig) { c.csv.Trace = parent }
 }
 
+// WithContext makes loading cooperative: the context is polled during CSV
+// parsing and rank encoding, and a cancelled context aborts ingestion
+// promptly with an error wrapping ctx.Err(). Long discovery services use
+// this so a cancelled or deleted job stops paying for its input parse.
+func WithContext(ctx context.Context) LoadOption {
+	return func(c *loadConfig) {
+		c.csv.Stop = func() bool { return ctx.Err() != nil }
+		c.ctxErr = ctx.Err
+	}
+}
+
 func buildConfig(opts []LoadOption) loadConfig {
 	var c loadConfig
 	for _, o := range opts {
@@ -70,7 +98,7 @@ func LoadCSVFile(path string, opts ...LoadOption) (*Table, error) {
 	c := buildConfig(opts)
 	rel, err := relation.ReadCSVFile(path, c.csv)
 	if err != nil {
-		return nil, err
+		return nil, c.wrapLoadErr(err)
 	}
 	return &Table{rel: rel}, nil
 }
@@ -80,7 +108,7 @@ func LoadCSV(r io.Reader, name string, opts ...LoadOption) (*Table, error) {
 	c := buildConfig(opts)
 	rel, err := relation.ReadCSV(r, name, c.csv)
 	if err != nil {
-		return nil, err
+		return nil, c.wrapLoadErr(err)
 	}
 	return &Table{rel: rel}, nil
 }
@@ -91,7 +119,7 @@ func NewTable(name string, columns []string, rows [][]string, opts ...LoadOption
 	c := buildConfig(opts)
 	rel, err := relation.FromStrings(name, columns, rows, c.csv.Options)
 	if err != nil {
-		return nil, err
+		return nil, c.wrapLoadErr(err)
 	}
 	return &Table{rel: rel}, nil
 }

@@ -8,8 +8,17 @@
 //	            [-no-header] [-force-string] [-max-level 0]
 //	            [-top-entropy 0] [-expand 20] [-partial-ok]
 //	            [-checkpoint run.ckpt] [-resume run.ckpt]
+//	            [-sorted-partitions] [-chunked]
+//	            [-max-memory-bytes 0] [-spill-dir DIR]
 //	            [-progress] [-metrics-out m.json] [-trace-out t.json]
 //	            [-trace-tree-out tree.json] [-debug-addr :6060]
+//
+// -max-memory-bytes sets a soft heap budget; with -spill-dir the engine
+// rides out the budget by evicting checker state to recomputable spill
+// segments in that directory (out-of-core discovery) and only truncates
+// when even eviction cannot free memory. -chunked bounds ingestion memory
+// by dictionary-encoding the CSV in bounded row chunks; the loaded table is
+// identical to the whole-file loader's.
 //
 // -progress renders a live status line (level, frontier, checks/s, cache hit
 // rate, ETA) on stderr. -metrics-out dumps the run's metrics registry as
@@ -65,6 +74,10 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
 		depsOut     = flag.String("deps-out", "", "write discovered dependencies in odverify's format to this file")
 		partialOK   = flag.Bool("partial-ok", false, "exit 0 instead of 3 when results are partial (truncated or interrupted)")
+		sortedParts = flag.Bool("sorted-partitions", false, "use the incremental sorted-partition backend (paper §5.3.1)")
+		chunked     = flag.Bool("chunked", false, "ingest the CSV in bounded row chunks (identical table, bounded load memory)")
+		maxMemory   = flag.Int64("max-memory-bytes", 0, "soft heap budget for discovery (0 = none)")
+		spillDir    = flag.String("spill-dir", "", "spill checker state to this directory under memory pressure instead of truncating")
 		ckptPath    = flag.String("checkpoint", "", "write a resumable snapshot to this file at every completed level")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "snapshot only every n completed levels (0 = every level)")
 		resumeFrom  = flag.String("resume", "", "restart from the snapshot at this path (input must be the original data)")
@@ -126,7 +139,11 @@ func main() {
 	if tracer != nil {
 		opts = append(opts, ocd.WithTrace(tracer.Root()))
 	}
-	tbl, err := ocd.LoadCSVFile(*input, opts...)
+	load := ocd.LoadCSVFile
+	if *chunked {
+		load = ocd.LoadCSVFileChunked
+	}
+	tbl, err := load(*input, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
 		os.Exit(1)
@@ -136,15 +153,18 @@ func main() {
 	}
 
 	dopts := ocd.Options{
-		Workers:         *workers,
-		Timeout:         *timeout,
-		MaxLevel:        *maxLevel,
-		MaxCandidates:   *maxCand,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
-		ResumeFrom:      *resumeFrom,
-		Metrics:         metrics,
-		ReportEvery:     *reportEvery,
+		Workers:             *workers,
+		Timeout:             *timeout,
+		MaxLevel:            *maxLevel,
+		MaxCandidates:       *maxCand,
+		UseSortedPartitions: *sortedParts,
+		MaxMemoryBytes:      *maxMemory,
+		SpillDir:            *spillDir,
+		CheckpointPath:      *ckptPath,
+		CheckpointEvery:     *ckptEvery,
+		ResumeFrom:          *resumeFrom,
+		Metrics:             metrics,
+		ReportEvery:         *reportEvery,
 	}
 	if tracer != nil {
 		dopts.Trace = tracer.Root()
@@ -233,6 +253,9 @@ func main() {
 			Checkpoints      int        `json:"checkpoints,omitempty"`
 			CheckpointPath   string     `json:"checkpoint_path,omitempty"`
 			CheckpointError  string     `json:"checkpoint_error,omitempty"`
+			SpillEvictions   int64      `json:"spill_evictions,omitempty"`
+			SpillReloads     int64      `json:"spill_reloads,omitempty"`
+			SpillError       string     `json:"spill_error,omitempty"`
 			ResumeCommand    string     `json:"resume_command,omitempty"`
 		}
 		out := jsonOut{
@@ -248,6 +271,9 @@ func main() {
 			Resumed:         res.Stats.Resumed,
 			Checkpoints:     res.Stats.Checkpoints,
 			CheckpointError: res.Stats.CheckpointError,
+			SpillEvictions:  res.Stats.SpillEvictions,
+			SpillReloads:    res.Stats.SpillReloads,
+			SpillError:      res.Stats.SpillError,
 		}
 		if path, ok := resumableSnapshot(*ckptPath, res); ok {
 			out.CheckpointPath = path
@@ -296,6 +322,9 @@ func main() {
 	fmt.Printf("\n%s\n", res.Summary())
 	if res.Stats.CheckpointError != "" {
 		fmt.Fprintf(os.Stderr, "ocddiscover: checkpointing disabled after write failure: %s\n", res.Stats.CheckpointError)
+	}
+	if res.Stats.SpillError != "" {
+		fmt.Fprintf(os.Stderr, "ocddiscover: spill dir unusable, running fully in-memory: %s\n", res.Stats.SpillError)
 	}
 	if path, ok := resumableSnapshot(*ckptPath, res); ok {
 		fmt.Printf("\ncheckpoint: %s\nresume with: %s\n", path, resumeCommand(path))

@@ -48,6 +48,7 @@ func run() int {
 		backoffCap = flag.Duration("backoff-cap", 30*time.Second, "retry delay ceiling")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot every n completed levels")
 		retryAfter = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503")
+		minFree    = flag.Int64("min-free-bytes", 0, "refuse submissions (503) while the data volume has fewer free bytes (0 = no floor)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight jobs to checkpoint on shutdown")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address here once serving (for scripts using an ephemeral :0 port)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
@@ -82,6 +83,7 @@ func run() int {
 		BackoffCap:      *backoffCap,
 		CheckpointEvery: *ckptEvery,
 		RetryAfter:      *retryAfter,
+		MinFreeBytes:    *minFree,
 		Metrics:         reg,
 		Logf:            logf,
 	})

@@ -39,10 +39,21 @@ type Options struct {
 	// Results are identical to the default re-sorting backend.
 	UseSortedPartitions bool
 	// MaxMemoryBytes is a soft heap budget: when the heap crosses it at a
-	// level boundary the engine first drops its index/partition caches, and
-	// truncates the run (reason "memory-budget") only if that is not
-	// enough. Zero means no budget.
+	// level boundary the engine degrades instead of growing toward an OOM
+	// kill — with a SpillDir it moves its index/partition caches to disk,
+	// otherwise it drops them — and truncates the run (reason
+	// "memory-budget") only when nothing could be spilled and the heap
+	// stays over budget. Zero means no budget.
 	MaxMemoryBytes int64
+	// SpillDir, when non-empty, arms out-of-core discovery: the engine's
+	// caches evict cold entries to checksummed segments under this
+	// directory and reload them on demand, so a MaxMemoryBytes-budgeted run
+	// completes with identical results instead of truncating. Segments are
+	// pure cache — the directory is wiped on open and emptied when the run
+	// ends, spill I/O failures degrade to recomputation (never wrong
+	// results), and an unopenable directory merely records
+	// Stats.SpillError and continues in-memory.
+	SpillDir string
 	// CheckpointPath, when non-empty, makes the run durable: a snapshot of
 	// the traversal is atomically written there at level barriers and when
 	// the run stops for any reason, so an interrupted run can be restarted
@@ -176,8 +187,17 @@ type Stats struct {
 	// traversal completed.
 	TruncateReason TruncateReason
 	// MemoryReleases counts how often the soft memory budget forced the
-	// checker caches to be dropped without truncating the run.
+	// checker caches to be spilled or dropped without truncating the run.
 	MemoryReleases int
+	// SpillEvictions counts cache entries written to spill segments under
+	// Options.SpillDir; SpillReloads counts entries read back from disk
+	// instead of recomputed. Both are zero without a spill dir.
+	SpillEvictions int64
+	SpillReloads   int64
+	// SpillError records why the spill directory could not be opened; the
+	// run then continued fully in-memory. Empty when spilling worked or was
+	// off.
+	SpillError string
 	// Checkpoints counts the snapshots written during the run (periodic
 	// level barriers plus the final stop/completion snapshot).
 	Checkpoints int
@@ -266,6 +286,7 @@ func (t *Table) DiscoverContext(ctx context.Context, opts Options) (*Result, err
 		DisableColumnReduction: opts.DisableColumnReduction,
 		UseSortedPartitions:    opts.UseSortedPartitions,
 		MaxMemoryBytes:         opts.MaxMemoryBytes,
+		SpillDir:               opts.SpillDir,
 		CheckpointPath:         opts.CheckpointPath,
 		CheckpointEvery:        opts.CheckpointEvery,
 		Resume:                 snap,
@@ -304,6 +325,9 @@ func (t *Table) wrapResult(inner *core.Result) *Result {
 		Truncated:       inner.Stats.Truncated,
 		TruncateReason:  reasonOf(inner.Stats.Reason),
 		MemoryReleases:  inner.Stats.MemoryReleases,
+		SpillEvictions:  inner.Stats.SpillEvictions,
+		SpillReloads:    inner.Stats.SpillReloads,
+		SpillError:      inner.Stats.SpillError,
 		Checkpoints:     inner.Stats.Checkpoints,
 		CheckpointError: inner.Stats.CheckpointError,
 		Resumed:         inner.Stats.Resumed,

@@ -425,7 +425,12 @@ func dupOrOverlap(x, y []int) bool {
 // snapshot, or holding the new one — never a torn file (a stale .tmp may
 // remain; it is overwritten by the next Write and never loaded).
 func Write(path string, s *Snapshot) error {
-	faultinject.Point("checkpoint.write")
+	// PointErr so chaos runs can fail the write with a plain error (a full
+	// or read-only checkpoint disk) and pin that discovery merely degrades
+	// to un-checkpointed; panic/exit rules at this point still fire as such.
+	if err := faultinject.PointErr("checkpoint.write"); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

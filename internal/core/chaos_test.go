@@ -238,7 +238,15 @@ func TestReductionCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	faultinject.Arm("core.reduction.row", faultinject.Rule{
-		Action: faultinject.ActionCancel, Nth: 2, Call: cancel,
+		Action: faultinject.ActionCancel, Nth: 2, Call: func() {
+			cancel()
+			// Hold the reduction goroutine inside the point until the
+			// watcher has converted the cancel into the stop flags;
+			// without the hold a fast machine finishes the whole run
+			// before the watcher wakes and the reason stays empty.
+			<-ctx.Done()
+			time.Sleep(10 * time.Millisecond)
+		},
 	})
 	res, err := DiscoverContext(ctx, r, Options{Workers: 2})
 	faultinject.Disarm("core.reduction.row")

@@ -94,6 +94,47 @@ func TestCancelMidLevelSnapshotResumable(t *testing.T) {
 	assertSameDiscovery(t, fresh, resumed)
 }
 
+// TestCheckpointWriteErrorDegradesToUncheckpointed injects a plain error
+// (a full or read-only checkpoint disk) into the first snapshot write at a
+// level barrier. The contract under test: discovery continues to a complete,
+// correct result, merely un-checkpointed — the failure is surfaced in
+// Stats.CheckpointError, no snapshot is counted, and nothing usable is left
+// at the destination.
+func TestCheckpointWriteErrorDegradesToUncheckpointed(t *testing.T) {
+	defer faultinject.Reset()
+	r := correlatedRelation(t, 80)
+
+	faultinject.Reset()
+	fresh := Discover(r, Options{Workers: 4})
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	faultinject.Arm("checkpoint.write", faultinject.Rule{
+		Action: faultinject.ActionErr, EveryK: 1,
+	})
+	res, err := DiscoverContext(context.Background(), r,
+		Options{Workers: 4, CheckpointPath: ckpt})
+	faultinject.Disarm("checkpoint.write")
+	if err != nil {
+		t.Fatalf("a failed snapshot write must not fail discovery: %v", err)
+	}
+	if res.Stats.Truncated {
+		t.Fatalf("run truncated: %+v", res.Stats)
+	}
+	if res.Stats.CheckpointError == "" {
+		t.Fatal("write failure not surfaced in Stats.CheckpointError")
+	}
+	if res.Stats.Checkpoints != 0 {
+		t.Fatalf("Checkpoints = %d despite every write failing", res.Stats.Checkpoints)
+	}
+	if _, lerr := checkpoint.Load(ckpt); !os.IsNotExist(lerr) {
+		t.Fatalf("Load = %v, want not-exist — no snapshot should land", lerr)
+	}
+	if !equalStrings(formatDeps(fresh), formatDeps(res)) {
+		t.Fatal("un-checkpointed run changed the results")
+	}
+	assertWellFormed(t, r, res)
+}
+
 // TestCrashDuringSnapshotRenameLeavesNoTornFile kills the write at the
 // worst possible instant — after the payload is flushed, before the atomic
 // rename — and proves the destination never holds a half-written snapshot.

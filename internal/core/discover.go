@@ -16,6 +16,7 @@ import (
 	"ocd/internal/obs"
 	"ocd/internal/order"
 	"ocd/internal/relation"
+	"ocd/internal/spill"
 )
 
 // Note for readers coming from the paper: observability hooks (the d.ro
@@ -78,6 +79,18 @@ type checker interface {
 	// ReleaseMemory drops the backend's index/partition cache, the
 	// graceful-degradation step of the soft memory budget.
 	ReleaseMemory()
+	// SetSpill attaches an out-of-core spill manager: cache evictions write
+	// checksummed disk segments and misses reload them. Spilled entries are
+	// pure cache; I/O failures degrade to recompute, never to wrong results.
+	SetSpill(sm *spill.Manager)
+	// EvictToSpill moves the backend's whole cache to disk — the first rung
+	// of the memory-budget ladder. Returns the number of entries durably
+	// spilled; 0 means the rung made no progress (nothing cached, no
+	// manager attached, or every write failed).
+	EvictToSpill() int
+	// SpillStats reports (entries spilled to disk, entries reloaded from
+	// disk) so far.
+	SpillStats() (int64, int64)
 }
 
 type discoverer struct {
@@ -93,6 +106,10 @@ type discoverer struct {
 	// res accumulates the (possibly partial) output; kept on the
 	// discoverer so the boundary recover in DiscoverContext can return it.
 	res *Result
+
+	// sm is the out-of-core spill manager, nil when Options.SpillDir is
+	// empty or the directory could not be opened (Stats.SpillError).
+	sm *spill.Manager
 
 	// barrier is the latest consistent cut of the traversal (see
 	// checkpoint.go); snapshots are only ever taken from it.
@@ -211,8 +228,15 @@ func (d *discoverer) watch(ctx context.Context, timerC <-chan time.Time, stop <-
 	}
 }
 
-// overMemoryBudget implements the soft memory budget at a level boundary:
-// over budget → release the checker caches and GC; still over → truncate.
+// overMemoryBudget implements the soft memory budget at a level boundary as
+// a degradation ladder: over budget → spill the checker caches to disk
+// (rung 1, only with a SpillDir) → release whatever remains in memory and
+// force a GC (rung 2) → truncate (rung 3) only when the heap is still over
+// budget AND spilling made no progress. A working spill directory therefore
+// keeps a budgeted run alive out-of-core: every boundary that manages to
+// move at least one cache entry to disk earns the run its next level, and
+// TruncateMemoryBudget stays unreachable until the spill path itself is
+// exhausted (no manager, nothing cached, or every write failed).
 func (d *discoverer) overMemoryBudget() bool {
 	if d.opts.MaxMemoryBytes <= 0 {
 		return false
@@ -222,11 +246,15 @@ func (d *discoverer) overMemoryBudget() bool {
 	if ms.HeapAlloc <= uint64(d.opts.MaxMemoryBytes) {
 		return false
 	}
+	evicted := d.chk.EvictToSpill()
 	d.chk.ReleaseMemory()
 	d.res.Stats.MemoryReleases++
 	runtime.GC()
 	runtime.ReadMemStats(&ms)
-	return ms.HeapAlloc > uint64(d.opts.MaxMemoryBytes)
+	if ms.HeapAlloc <= uint64(d.opts.MaxMemoryBytes) {
+		return false
+	}
+	return evicted == 0
 }
 
 // workerOut accumulates one worker's emissions for a level.
@@ -253,6 +281,18 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 		if err := d.verifyResume(d.opts.Resume); err != nil {
 			res.Stats.Elapsed = time.Since(d.start)
 			return res, err
+		}
+	}
+	// Arm out-of-core spilling. An unopenable spill dir is a degradation,
+	// not a failure: the run proceeds fully in-memory and records why.
+	if d.opts.SpillDir != "" {
+		if sm, smErr := spill.NewManager(d.opts.SpillDir); smErr != nil {
+			res.Stats.SpillError = smErr.Error()
+		} else {
+			d.sm = sm
+			d.chk.SetSpill(sm)
+			// Segments are pure cache — removing them on exit loses nothing.
+			defer sm.Close() // lint:allow errdrop — best-effort cleanup of recomputable cache files
 		}
 	}
 	d.ro.runStart(d.start, 0)
@@ -396,6 +436,7 @@ func (d *discoverer) run(ctx context.Context) (*Result, error) {
 	d.writeCheckpoint(res)
 
 	res.Stats.Checks = d.checksBase + d.chk.Checks()
+	res.Stats.SpillEvictions, res.Stats.SpillReloads = d.chk.SpillStats()
 	res.Stats.Elapsed = time.Since(d.start)
 	sortResult(res)
 	d.ro.runEnd(d, res)

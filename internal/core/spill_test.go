@@ -1,0 +1,97 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpillKeepsBudgetedRunComplete: the budget that truncates an in-memory
+// run (TestMemoryBudget) must NOT truncate a run armed with a spill dir —
+// the engine goes out-of-core and finishes with identical results. This is
+// the reachability pin for TruncateMemoryBudget: the reason only fires once
+// the spill rung makes no progress.
+func TestSpillKeepsBudgetedRunComplete(t *testing.T) {
+	r := correlatedRelation(t, 80)
+	want := Discover(r, Options{})
+	for _, partitions := range []bool{false, true} {
+		got := Discover(r, Options{
+			MaxMemoryBytes:      1,
+			SpillDir:            filepath.Join(t.TempDir(), "spill"),
+			UseSortedPartitions: partitions,
+		})
+		if got.Stats.Truncated {
+			t.Fatalf("partitions=%v: budgeted run truncated despite spill dir: %+v", partitions, got.Stats)
+		}
+		if got.Stats.SpillError != "" {
+			t.Fatalf("partitions=%v: SpillError = %q", partitions, got.Stats.SpillError)
+		}
+		if got.Stats.MemoryReleases == 0 {
+			t.Errorf("partitions=%v: budget never tripped — the run proves nothing", partitions)
+		}
+		if got.Stats.SpillEvictions == 0 {
+			t.Errorf("partitions=%v: nothing was spilled", partitions)
+		}
+		if !equalStrings(formatDeps(want), formatDeps(got)) {
+			t.Fatalf("partitions=%v: out-of-core run changed the results", partitions)
+		}
+		assertWellFormed(t, r, got)
+	}
+}
+
+// TestSpillSteadyStateEvictions: a tiny checker cache with a spill dir and
+// no memory budget spills on ordinary eviction and reloads on demand,
+// leaving results identical.
+func TestSpillSteadyStateEvictions(t *testing.T) {
+	r := correlatedRelation(t, 80)
+	want := Discover(r, Options{})
+	got := Discover(r, Options{
+		IndexCacheSize: 2,
+		SpillDir:       filepath.Join(t.TempDir(), "spill"),
+	})
+	if got.Stats.SpillEvictions == 0 || got.Stats.SpillReloads == 0 {
+		t.Errorf("SpillStats = (%d, %d), want both > 0",
+			got.Stats.SpillEvictions, got.Stats.SpillReloads)
+	}
+	if !equalStrings(formatDeps(want), formatDeps(got)) {
+		t.Fatal("spilling changed the results")
+	}
+}
+
+// TestSpillDirUnopenable: a spill dir that cannot be created degrades the
+// run to fully in-memory — recorded in SpillError, never an error or a
+// wrong result.
+func TestSpillDirUnopenable(t *testing.T) {
+	r := correlatedRelation(t, 80)
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := Discover(r, Options{})
+	got := Discover(r, Options{SpillDir: filepath.Join(blocker, "spill")})
+	if got.Stats.SpillError == "" {
+		t.Error("unopenable spill dir not recorded in SpillError")
+	}
+	if got.Stats.SpillEvictions != 0 || got.Stats.SpillReloads != 0 {
+		t.Errorf("SpillStats = (%d, %d) with no working spill dir",
+			got.Stats.SpillEvictions, got.Stats.SpillReloads)
+	}
+	if !equalStrings(formatDeps(want), formatDeps(got)) {
+		t.Fatal("degraded run changed the results")
+	}
+}
+
+// TestSpillDirEmptiedAfterRun: segments are pure cache, so the run removes
+// them (and the directory, best-effort) on exit.
+func TestSpillDirEmptiedAfterRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	r := correlatedRelation(t, 80)
+	res := Discover(r, Options{IndexCacheSize: 2, SpillDir: dir})
+	if res.Stats.SpillEvictions == 0 {
+		t.Fatal("test needs at least one spilled segment to prove cleanup")
+	}
+	entries, err := os.ReadDir(dir)
+	if err == nil && len(entries) > 0 {
+		t.Fatalf("%d files left in spill dir after the run", len(entries))
+	}
+}

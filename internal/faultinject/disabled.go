@@ -14,6 +14,9 @@ const Enabled = false
 // the empty body away, so hooks in hot loops cost nothing.
 func Point(string) {}
 
+// PointErr never fails without the faultinject build tag.
+func PointErr(string) error { return nil }
+
 // Arm is a no-op without the faultinject build tag.
 func Arm(string, Rule) {}
 

@@ -25,6 +25,20 @@ func TestDisabledIsInert(t *testing.T) {
 	Disarm("x")
 }
 
+// TestDisabledPointErrNeverFails: without the tag PointErr always returns
+// nil, even with an ActionErr rule "armed" — spill and checkpoint I/O paths
+// may call it unconditionally.
+func TestDisabledPointErrNeverFails(t *testing.T) {
+	Arm("y", Rule{Action: ActionErr, Nth: 1})
+	defer Reset()
+	if err := PointErr("y"); err != nil {
+		t.Errorf("PointErr = %v without the tag, want nil", err)
+	}
+	if got := Hits("y"); got != 0 {
+		t.Errorf("Hits = %d without the tag, want 0", got)
+	}
+}
+
 // TestArmFromEnvRefusedWithoutTag: a production build must reject a set
 // OCD_FAULT instead of silently ignoring it — a crash-driver script whose
 // kill never fires would otherwise "pass" its chaos run vacuously.

@@ -81,6 +81,34 @@ func Point(name string) {
 	firePlain(name, a, n)
 }
 
+// PointErr is the hook for failure sites that can surface an error — disk
+// writes, reads, renames. When the armed rule's action is ActionErr and the
+// trigger matches, PointErr returns an error wrapping ErrInjected; any other
+// armed action fires exactly as it would at a plain Point site (so a script
+// can still exit or panic at an error-capable point) and PointErr returns
+// nil.
+func PointErr(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	v, ok := points.Load(name)
+	if !ok {
+		return nil
+	}
+	a := v.(*armed)
+	n := a.hits.Add(1)
+	fire := (a.rule.Nth > 0 && n == a.rule.Nth) ||
+		(a.rule.EveryK > 0 && n%a.rule.EveryK == 0)
+	if !fire {
+		return nil
+	}
+	if a.rule.Action == ActionErr {
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, name, n)
+	}
+	firePlain(name, a, n)
+	return nil
+}
+
 // firePlain executes the non-HTTP actions of an armed point whose trigger
 // matched on hit n; HTTP-only actions are ignored at plain Point sites.
 func firePlain(name string, a *armed, n int64) {

@@ -3,6 +3,8 @@
 package faultinject
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -64,6 +66,77 @@ func TestDelayAction(t *testing.T) {
 	Point("d")
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
 		t.Errorf("delay point returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+// TestPointErrInjectsOnNth: an ActionErr rule makes PointErr return an
+// error wrapping ErrInjected on exactly the armed hit, nil everywhere else.
+func TestPointErrInjectsOnNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("e", Rule{Action: ActionErr, Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := PointErr("e")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+			}
+			if !strings.Contains(err.Error(), "e") {
+				t.Errorf("injected error should name the point: %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := Hits("e"); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+}
+
+// TestPointErrEveryK: the every-k trigger works at error sites too — every
+// 2nd call fails.
+func TestPointErrEveryK(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("ek", Rule{Action: ActionErr, EveryK: 2})
+	failed := 0
+	for i := 0; i < 6; i++ {
+		if PointErr("ek") != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Errorf("PointErr failed %d of 6 hits with EveryK=2, want 3", failed)
+	}
+}
+
+// TestPointErrFiresOtherActions: a non-err rule armed at a PointErr site
+// fires its plain action (here a cancel) and the call returns nil — scripts
+// can still exit/panic at error-capable points.
+func TestPointErrFiresOtherActions(t *testing.T) {
+	Reset()
+	defer Reset()
+	calls := 0
+	Arm("ep", Rule{Action: ActionCancel, Nth: 1, Call: func() { calls++ }})
+	if err := PointErr("ep"); err != nil {
+		t.Fatalf("PointErr with a cancel rule returned %v, want nil", err)
+	}
+	if calls != 1 {
+		t.Errorf("cancel fired %d times at a PointErr site, want 1", calls)
+	}
+}
+
+// TestErrActionIgnoredAtPlainPoint: an ActionErr rule at a plain Point site
+// does nothing — there is no error channel to return through.
+func TestErrActionIgnoredAtPlainPoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("plain", Rule{Action: ActionErr, Nth: 1})
+	Point("plain") // must not panic or exit
+	if got := Hits("plain"); got != 1 {
+		t.Errorf("Hits = %d, want 1", got)
 	}
 }
 

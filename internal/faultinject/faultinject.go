@@ -23,6 +23,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -55,7 +56,17 @@ const (
 	// it, and abort the connection (via http.ErrAbortHandler), simulating
 	// a server that dies mid-response. Clients see a truncated body.
 	ActionHTTPDrop
+	// ActionErr makes PointErr return an injected error (wrapping
+	// ErrInjected) instead of nil, simulating an I/O failure — a disk
+	// write error, ENOSPC, a read fault — without abusing panic or exit.
+	// Plain Point sites ignore it.
+	ActionErr
 )
+
+// ErrInjected is the sentinel wrapped into every error a fired ActionErr
+// point returns; match it with errors.Is to tell an injected fault from a
+// real one.
+var ErrInjected = errors.New("faultinject: injected error")
 
 // ExitCode is the status an ActionExit point terminates the process with;
 // distinctive so crash-driver scripts can tell an injected kill from an
@@ -64,8 +75,8 @@ const ExitCode = 86
 
 // EnvVar is the environment variable ArmFromEnv reads. The value is a
 // semicolon-separated list of `point:action:nth` specs, where action is
-// "panic", "exit", "http500" or "drop", and nth is the 1-based hit that
-// fires it — or "*" to fire on every hit. E.g.
+// "panic", "exit", "err", "http500" or "drop", and nth is the 1-based hit
+// that fires it — or "*" to fire on every hit. E.g.
 //
 //	OCD_FAULT="core.level.start:exit:2"
 //
@@ -74,7 +85,8 @@ const ExitCode = 86
 //	OCD_FAULT="jobs.run.poison:panic:*"
 //
 // panics every attempt of the job named "poison" (the serve-chaos poison
-// job). The HTTP actions only fire at HTTPPoint sites.
+// job). The HTTP actions only fire at HTTPPoint sites; "err" only fires at
+// PointErr sites.
 const EnvVar = "OCD_FAULT"
 
 // String names the action.
@@ -92,6 +104,8 @@ func (a Action) String() string {
 		return "http500"
 	case ActionHTTPDrop:
 		return "drop"
+	case ActionErr:
+		return "err"
 	}
 	return "unknown"
 }
@@ -112,8 +126,10 @@ func ParseSpec(spec string) (point string, r Rule, err error) {
 		r.Action = ActionHTTPError
 	case "drop":
 		r.Action = ActionHTTPDrop
+	case "err":
+		r.Action = ActionErr
 	default:
-		return "", Rule{}, fmt.Errorf("faultinject: bad action %q in %q, want panic, exit, http500 or drop", parts[1], spec)
+		return "", Rule{}, fmt.Errorf("faultinject: bad action %q in %q, want panic, exit, err, http500 or drop", parts[1], spec)
 	}
 	if parts[2] == "*" {
 		r.EveryK = 1

@@ -1,0 +1,72 @@
+package jobs
+
+import (
+	mrand "math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffCeilingGrowsExponentially pins the jitter envelope: the ceiling
+// doubles per attempt from the base and clamps at the cap.
+func TestBackoffCeilingGrowsExponentially(t *testing.T) {
+	m := newTestManager(t, Config{BackoffBase: 500 * time.Millisecond, BackoffCap: 30 * time.Second})
+	want := []time.Duration{
+		500 * time.Millisecond, // attempt 1
+		1 * time.Second,
+		2 * time.Second,
+		4 * time.Second,
+		8 * time.Second,
+		16 * time.Second,
+		30 * time.Second, // 32s clamped
+		30 * time.Second,
+	}
+	for i, w := range want {
+		if got := m.backoffCeiling(i + 1); got != w {
+			t.Errorf("backoffCeiling(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffFullJitterBounds pins the full-jitter contract: every draw lies
+// in [0, ceiling], and draws actually spread across the window instead of
+// collapsing onto the ceiling (the lockstep-retry failure mode the jitter
+// exists to prevent).
+func TestBackoffFullJitterBounds(t *testing.T) {
+	m := newTestManager(t, Config{BackoffBase: 512 * time.Millisecond, BackoffCap: 8 * time.Second})
+	m.rng = mrand.New(mrand.NewSource(42)) // deterministic draws for the test
+
+	for attempts := 1; attempts <= 6; attempts++ {
+		ceil := m.backoffCeiling(attempts)
+		var min, max time.Duration = ceil, 0
+		for i := 0; i < 500; i++ {
+			d := m.backoff(attempts)
+			if d < 0 || d > ceil {
+				t.Fatalf("backoff(%d) = %v outside [0, %v]", attempts, d, ceil)
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		// 500 uniform draws must visit both halves of the window; a run that
+		// stays in one half means the jitter degenerated.
+		if min >= ceil/2 {
+			t.Errorf("backoff(%d): 500 draws never entered [0, %v) (min %v)", attempts, ceil/2, min)
+		}
+		if max < ceil/2 {
+			t.Errorf("backoff(%d): 500 draws never entered [%v, %v] (max %v)", attempts, ceil/2, ceil, max)
+		}
+	}
+}
+
+// TestBackoffZeroCeilingIsZero guards the Int63n argument: a degenerate
+// configuration must not panic.
+func TestBackoffZeroCeilingIsZero(t *testing.T) {
+	m := newTestManager(t, Config{})
+	m.cfg.BackoffBase, m.cfg.BackoffCap = 0, 0
+	if d := m.backoff(3); d != 0 {
+		t.Fatalf("backoff with zero envelope = %v, want 0", d)
+	}
+}

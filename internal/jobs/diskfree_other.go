@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package jobs
+
+// diskFree reports -1 ("unknown") on platforms without a wired statfs;
+// the low-disk admission gate and the healthz free-bytes field then fail
+// open rather than guessing.
+func diskFree(path string) int64 { return -1 }

@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package jobs
+
+import "syscall"
+
+// diskFree returns the bytes available to unprivileged writers on the
+// filesystem holding path, or -1 when the statfs call fails (missing path,
+// unsupported filesystem). Callers treat -1 as "unknown" and fail open.
+func diskFree(path string) int64 {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return -1
+	}
+	// Bavail is what non-root writers actually get; Bsize is the fundamental
+	// block size. Both fields are plain integers on linux and darwin, but
+	// their widths differ per platform, hence the conversions.
+	return int64(st.Bavail) * int64(st.Bsize)
+}

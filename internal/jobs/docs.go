@@ -95,6 +95,9 @@ type ResultDoc struct {
 	Resumed          bool       `json:"resumed,omitempty"`          // volatile
 	Checkpoints      int        `json:"checkpoints"`                // volatile
 	Attempts         int        `json:"attempts"`                   // volatile
+	SpillEvictions   int64      `json:"spill_evictions,omitempty"`  // volatile
+	SpillReloads     int64      `json:"spill_reloads,omitempty"`    // volatile
+	SpillError       string     `json:"spill_error,omitempty"`      // volatile
 }
 
 // writeResult renders and atomically persists the result document.
@@ -124,6 +127,9 @@ func (m *Manager) writeResult(j *Job, out attemptOutcome) error {
 		Resumed:          res.Stats.Resumed,
 		Checkpoints:      res.Stats.Checkpoints,
 		Attempts:         attempts,
+		SpillEvictions:   res.Stats.SpillEvictions,
+		SpillReloads:     res.Stats.SpillReloads,
+		SpillError:       res.Stats.SpillError,
 	}
 	if doc.OCDs == nil {
 		doc.OCDs = []ocd.OCD{}
@@ -199,23 +205,38 @@ func (m *Manager) List() []StatusDoc {
 
 // HealthDoc is the GET /healthz body.
 type HealthDoc struct {
-	Status   string `json:"status"` // "ok" or "draining"
+	Status   string `json:"status"` // "ok", "low-disk" or "draining"
 	Active   int    `json:"active"`
 	Queued   int    `json:"queued"`
 	Jobs     int    `json:"jobs"`
 	Draining bool   `json:"draining,omitempty"`
+	// FreeBytes is the space available on the volume holding the data dir
+	// (which also hosts every job's checkpoint and spill segments); -1 when
+	// the platform cannot report it.
+	FreeBytes int64 `json:"free_bytes"`
+	// MinFreeBytes echoes the admission floor; LowDisk is set when FreeBytes
+	// is known and below it (new submissions are then refused with 503).
+	MinFreeBytes int64 `json:"min_free_bytes,omitempty"`
+	LowDisk      bool  `json:"low_disk,omitempty"`
 }
 
 // Health reports the manager's liveness snapshot.
 func (m *Manager) Health() HealthDoc {
+	free := diskFree(m.cfg.Dir)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h := HealthDoc{
-		Status:   "ok",
-		Active:   m.active,
-		Queued:   len(m.queue) + m.pendingRetries,
-		Jobs:     len(m.jobs),
-		Draining: m.draining,
+		Status:       "ok",
+		Active:       m.active,
+		Queued:       len(m.queue) + m.pendingRetries,
+		Jobs:         len(m.jobs),
+		Draining:     m.draining,
+		FreeBytes:    free,
+		MinFreeBytes: m.cfg.MinFreeBytes,
+	}
+	if m.cfg.MinFreeBytes > 0 && free >= 0 && free < m.cfg.MinFreeBytes {
+		h.LowDisk = true
+		h.Status = "low-disk"
 	}
 	if m.draining {
 		h.Status = "draining"

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitRefusedBelowFreeSpaceFloor pins the low-disk admission gate: an
+// impossible floor makes every submission fail with ErrLowDisk, and the
+// health document reports the same condition.
+func TestSubmitRefusedBelowFreeSpaceFloor(t *testing.T) {
+	dir := t.TempDir()
+	if diskFree(dir) < 0 {
+		t.Skip("no free-space probe on this platform")
+	}
+	m := newTestManager(t, Config{Dir: dir, MinFreeBytes: math.MaxInt64})
+	_, err := m.Submit(context.Background(), "lowdisk", strings.NewReader(testCSV(10)), JobOptions{})
+	if !errors.Is(err, ErrLowDisk) {
+		t.Fatalf("Submit err = %v, want ErrLowDisk", err)
+	}
+	h := m.Health()
+	if !h.LowDisk || h.Status != "low-disk" {
+		t.Errorf("health = %+v, want low_disk=true status=low-disk", h)
+	}
+	if h.FreeBytes < 0 {
+		t.Errorf("health free_bytes = %d, want known value", h.FreeBytes)
+	}
+	if h.MinFreeBytes != math.MaxInt64 {
+		t.Errorf("health min_free_bytes = %d, want %d", h.MinFreeBytes, int64(math.MaxInt64))
+	}
+}
+
+// TestSubmitAllowedAboveFreeSpaceFloor: a 1-byte floor on a usable temp dir
+// must admit jobs and report a healthy, quantified healthz.
+func TestSubmitAllowedAboveFreeSpaceFloor(t *testing.T) {
+	dir := t.TempDir()
+	if diskFree(dir) < 1 {
+		t.Skip("temp volume reports no free space")
+	}
+	m := newTestManager(t, Config{Dir: dir, MinFreeBytes: 1})
+	if _, err := m.Submit(context.Background(), "ok", strings.NewReader(testCSV(10)), JobOptions{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	h := m.Health()
+	if h.LowDisk || h.Status != "ok" {
+		t.Errorf("health = %+v, want low_disk=false status=ok", h)
+	}
+}
+
+// TestServerLowDiskIs503WithRetryAfter pins the HTTP face of the gate: a
+// typed 503 with kind "low-disk" and a Retry-After hint, while /healthz
+// stays 200 and carries the free/floor bytes for operators.
+func TestServerLowDiskIs503WithRetryAfter(t *testing.T) {
+	dir := t.TempDir()
+	if diskFree(dir) < 0 {
+		t.Skip("no free-space probe on this platform")
+	}
+	m := newTestManager(t, Config{Dir: dir, MinFreeBytes: math.MaxInt64})
+	ts := newTestServer(t, m)
+
+	resp, err := http.Post(ts.URL+"/jobs?name=full", "text/csv", strings.NewReader(testCSV(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	var doc errorDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "low-disk" {
+		t.Errorf("kind = %q, want low-disk", doc.Kind)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200 (low disk degrades admissions, not liveness)", hr.StatusCode)
+	}
+	var h HealthDoc
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.LowDisk || h.FreeBytes < 0 || h.MinFreeBytes != math.MaxInt64 {
+		t.Errorf("healthz = %+v, want low_disk with quantified free/floor bytes", h)
+	}
+}

@@ -3,10 +3,12 @@ package jobs
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -18,6 +20,7 @@ import (
 	"ocd/internal/core"
 	"ocd/internal/faultinject"
 	"ocd/internal/obs"
+	"ocd/internal/spill"
 )
 
 // Config tunes a Manager. The zero value of every field selects a sane
@@ -42,8 +45,11 @@ type Config struct {
 	// MaxAttempts is the poison cap: a job whose attempt fails (panic or
 	// crash) this many times is marked failed for good (default 3).
 	MaxAttempts int
-	// BackoffBase/BackoffCap shape the retry delay after a failed attempt:
-	// base<<(attempts-1), clamped to cap (defaults 500ms / 30s).
+	// BackoffBase/BackoffCap shape the retry delay after a failed attempt.
+	// The delay is fully jittered: uniform in [0, ceiling] where ceiling is
+	// base<<(attempts-1) clamped to cap (defaults 500ms / 30s). Full jitter
+	// keeps a batch of jobs that crashed together (one bad deploy, one full
+	// disk) from retrying in lockstep and re-overloading whatever felled them.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
 	// CheckpointEvery throttles periodic snapshots to every n completed
@@ -52,6 +58,11 @@ type Config struct {
 	// RetryAfter is the Retry-After hint returned with 429/503 rejections
 	// (default 2s).
 	RetryAfter time.Duration
+	// MinFreeBytes is the free-space floor for the data volume: while the
+	// filesystem holding Dir has fewer free bytes, new submissions are
+	// refused with ErrLowDisk (503) instead of being admitted into a run
+	// that would fail mid-checkpoint or mid-spill. Zero disables the gate.
+	MinFreeBytes int64
 	// Metrics receives the manager's counters and gauges (nil = private
 	// registry).
 	Metrics *obs.Registry
@@ -195,6 +206,11 @@ type Manager struct {
 
 	kick chan struct{} // wakes the scheduler; capacity 1
 
+	// rng drives the backoff jitter. Guarded by rngMu (math/rand sources are
+	// not safe for concurrent use); tests swap in a fixed seed.
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+
 	wg sync.WaitGroup // scheduler + runner goroutines
 
 	mSubmitted, mCompleted, mFailed, mCancelled *obs.Counter
@@ -217,6 +233,7 @@ func Open(cfg Config) (*Manager, error) {
 		cfg:  cfg,
 		jobs: make(map[string]*Job),
 		kick: make(chan struct{}, 1),
+		rng:  mrand.New(mrand.NewSource(randomSeed())),
 
 		mSubmitted: cfg.Metrics.Counter("jobs.submitted"),
 		mCompleted: cfg.Metrics.Counter("jobs.completed"),
@@ -269,6 +286,13 @@ func (m *Manager) recover() error {
 		j := &Job{id: man.ID, dir: dir, man: *man}
 		if _, err := os.Stat(resultPath(dir)); err == nil {
 			j.resultReady = true
+		}
+		// Spill segments are pure cache scoped to one attempt; whatever the
+		// crashed process left behind is garbage to the next attempt (which
+		// opens its own manager over the same dir) and dead weight to a
+		// terminal job. Sweep unconditionally.
+		if err := spill.Sweep(spillDirPath(dir)); err != nil {
+			m.logf("recover: spill sweep %s: %v", j.id, err)
 		}
 		switch man.State {
 		case StateQueued:
@@ -390,6 +414,16 @@ func (m *Manager) Submit(ctx context.Context, name string, src io.Reader, opts J
 	if len(opts.Delimiter) > 1 {
 		return nil, fmt.Errorf("%w: delimiter must be a single character", ErrBadInput)
 	}
+	// Free-space floor: refuse work the volume cannot carry (input copy,
+	// checkpoints, spill segments) rather than admit a job doomed to degrade.
+	// An unreadable filesystem stat (free < 0) fails open — the gate protects
+	// against a full disk, not a missing statfs syscall.
+	if m.cfg.MinFreeBytes > 0 {
+		if free := diskFree(m.cfg.Dir); free >= 0 && free < m.cfg.MinFreeBytes {
+			m.mRejected.Inc()
+			return nil, fmt.Errorf("%w: %d bytes free on %s, floor is %d", ErrLowDisk, free, m.cfg.Dir, m.cfg.MinFreeBytes)
+		}
+	}
 
 	// Reserve a queue slot before touching the disk so concurrent
 	// submissions cannot overshoot QueueDepth.
@@ -507,6 +541,17 @@ func newID() (string, error) {
 	return "j" + hex.EncodeToString(b[:]), nil
 }
 
+// randomSeed draws a PRNG seed from the OS entropy source; jitter quality is
+// not worth failing Open over, so exhaustion falls back to a constant (the
+// jitter is then merely deterministic, not absent).
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 1
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
 // attemptOutcome is what one attempt produced, handed to finishAttempt for
 // classification.
 type attemptOutcome struct {
@@ -590,7 +635,10 @@ func (m *Manager) runAttempt(ctx context.Context, j *Job, name string) (out atte
 		out.err = err
 		return out
 	}
-	tbl, err := ocd.LoadCSV(f, name, loadOptions(ctx, opts)...)
+	// Chunked ingestion bounds the load-phase row buffer, so a server under a
+	// memory budget never holds the whole CSV as raw strings; the resulting
+	// table is cell-for-cell identical to the whole-file loader's.
+	tbl, err := ocd.LoadCSVChunked(f, name, loadOptions(ctx, opts)...)
 	f.Close() // lint:allow errdrop — read-only file, the load error dominates
 	if err != nil {
 		out.err = err
@@ -608,7 +656,11 @@ func (m *Manager) runAttempt(ctx context.Context, j *Job, name string) (out atte
 		MaxMemoryBytes:      m.cfg.perJobMemory(),
 		CheckpointPath:      snapshotPath(j.dir),
 		CheckpointEvery:     m.cfg.CheckpointEvery,
-		Reporter:            j,
+		// Per-job spill dir inside the job dir: Delete's RemoveAll covers it,
+		// recovery sweeps it, and under memory pressure the engine evicts
+		// checker state here instead of truncating the run.
+		SpillDir: spillDirPath(j.dir),
+		Reporter: j,
 	}
 	if _, statErr := os.Stat(snapshotPath(j.dir)); statErr == nil {
 		dopts.ResumeFrom = snapshotPath(j.dir)
@@ -802,9 +854,9 @@ func panicStack(err error) string {
 	return ""
 }
 
-// backoff returns the delay before retrying after `attempts` started
+// backoffCeiling returns the exponential envelope after `attempts` started
 // attempts: base<<(attempts-1) clamped to the cap.
-func (m *Manager) backoff(attempts int) time.Duration {
+func (m *Manager) backoffCeiling(attempts int) time.Duration {
 	d := m.cfg.BackoffBase
 	for i := 1; i < attempts; i++ {
 		d *= 2
@@ -816,6 +868,20 @@ func (m *Manager) backoff(attempts int) time.Duration {
 		d = m.cfg.BackoffCap
 	}
 	return d
+}
+
+// backoff returns the delay before retrying after `attempts` started
+// attempts: a full-jitter draw, uniform in [0, backoffCeiling(attempts)].
+// Correlated failures (several jobs felled by the same cause at the same
+// instant) thereby retry spread out instead of in lockstep.
+func (m *Manager) backoff(attempts int) time.Duration {
+	ceil := m.backoffCeiling(attempts)
+	if ceil <= 0 {
+		return 0
+	}
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return time.Duration(m.rng.Int63n(int64(ceil) + 1))
 }
 
 // scheduleRetry parks j for delay, then re-admits it. During a drain the

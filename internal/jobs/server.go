@@ -82,6 +82,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		code, kind = http.StatusTooManyRequests, "queue-full"
 	case errors.Is(err, ErrTooLarge):
 		code, kind = http.StatusRequestEntityTooLarge, "too-large"
+	case errors.Is(err, ErrLowDisk):
+		code, kind = http.StatusServiceUnavailable, "low-disk"
 	case errors.Is(err, ErrNotFound):
 		code, kind = http.StatusNotFound, "not-found"
 	case errors.Is(err, ErrNoResult):

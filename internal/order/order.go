@@ -20,6 +20,7 @@ import (
 	"ocd/internal/faultinject"
 	"ocd/internal/obs"
 	"ocd/internal/relation"
+	"ocd/internal/spill"
 )
 
 // stopCheckMask throttles cooperative-stop polling inside sort comparators
@@ -118,6 +119,18 @@ type Checker struct {
 	// nil (no-op) unless SetObs attached a registry.
 	obsHits   *obs.Counter
 	obsMisses *obs.Counter
+
+	// sm, when non-nil, gives the cache an out-of-core mode: evictions
+	// spill to checksummed disk segments and misses reload them (spill.go).
+	sm             *spill.Manager
+	spillEvictions atomic.Int64
+	spillReloads   atomic.Int64
+
+	obsSpillEvictions  *obs.Counter
+	obsSpillReloads    *obs.Counter
+	obsSpillRetries    *obs.Counter
+	obsSpillRecomputes *obs.Counter
+	obsSpillFailures   *obs.Counter
 }
 
 // NewChecker returns a Checker over r whose index cache holds at most
@@ -145,6 +158,11 @@ func (c *Checker) SetStopFlag(stop *atomic.Bool) { c.stop = stop }
 func (c *Checker) SetObs(reg *obs.Registry) {
 	c.obsHits = reg.Counter("order.index_cache.hits")
 	c.obsMisses = reg.Counter("order.index_cache.misses")
+	c.obsSpillEvictions = reg.Counter("order.spill.evictions")
+	c.obsSpillReloads = reg.Counter("order.spill.reloads")
+	c.obsSpillRetries = reg.Counter("order.spill.retries")
+	c.obsSpillRecomputes = reg.Counter("order.spill.recomputes")
+	c.obsSpillFailures = reg.Counter("order.spill.write_failures")
 }
 
 // stopped reports whether a cooperative stop has been requested.
@@ -189,25 +207,48 @@ func (c *Checker) SortedIndex(x attr.List) []int32 {
 		c.mu.Unlock()
 	}
 	c.obsMisses.Inc()
+	// A spilled exact match beats rebuilding: one verified disk read vs an
+	// O(rows log rows) sort. Damaged or missing segments fall through to a
+	// rebuild — always correct, never wrong results.
+	if c.sm != nil {
+		if idx := c.loadSpilled(key); idx != nil {
+			c.putIndex(key, idx)
+			return idx
+		}
+	}
 	idx, ok := c.buildIndex(x)
 	if !ok {
 		return nil
 	}
-	if c.cap > 0 {
-		faultinject.Point("order.checker.cacheput")
-		c.mu.Lock()
-		if _, dup := c.cache[key]; !dup {
-			if len(c.fifo) >= c.cap {
-				oldest := c.fifo[0]
-				c.fifo = c.fifo[1:]
-				delete(c.cache, oldest)
-			}
-			c.cache[key] = idx
-			c.fifo = append(c.fifo, key)
-		}
-		c.mu.Unlock()
-	}
+	c.putIndex(key, idx)
 	return idx
+}
+
+// putIndex inserts a built index into the cache, spilling the FIFO victim
+// to disk when a spill manager is attached — file I/O outside the lock so
+// concurrent checks keep flowing.
+func (c *Checker) putIndex(key string, idx []int32) {
+	if c.cap <= 0 {
+		return
+	}
+	faultinject.Point("order.checker.cacheput")
+	var evictKey string
+	var evictIdx []int32
+	c.mu.Lock()
+	if _, dup := c.cache[key]; !dup {
+		if len(c.fifo) >= c.cap {
+			evictKey = c.fifo[0]
+			evictIdx = c.cache[evictKey]
+			c.fifo = c.fifo[1:]
+			delete(c.cache, evictKey)
+		}
+		c.cache[key] = idx
+		c.fifo = append(c.fifo, key)
+	}
+	c.mu.Unlock()
+	if evictIdx != nil && c.sm != nil {
+		c.spillIndex(evictKey, evictIdx)
+	}
 }
 
 // buildIndex is generateIndex of Algorithm 2: a fresh sorted index over x.

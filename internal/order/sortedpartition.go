@@ -8,6 +8,7 @@ import (
 	"ocd/internal/faultinject"
 	"ocd/internal/obs"
 	"ocd/internal/relation"
+	"ocd/internal/spill"
 )
 
 // Section 5.3.1 of the paper notes that previous work (ORDER) achieves
@@ -165,6 +166,18 @@ type PartitionChecker struct {
 	obsHits    *obs.Counter
 	obsMisses  *obs.Counter
 	obsClasses *obs.Histogram
+
+	// sm, when non-nil, gives the cache an out-of-core mode: evictions
+	// spill to checksummed disk segments and misses reload them (spill.go).
+	sm             *spill.Manager
+	spillEvictions atomic.Int64
+	spillReloads   atomic.Int64
+
+	obsSpillEvictions  *obs.Counter
+	obsSpillReloads    *obs.Counter
+	obsSpillRetries    *obs.Counter
+	obsSpillRecomputes *obs.Counter
+	obsSpillFailures   *obs.Counter
 }
 
 // NewPartitionChecker returns a checker whose cache holds at most cacheCap
@@ -191,6 +204,11 @@ func (c *PartitionChecker) SetObs(reg *obs.Registry) {
 	c.obsHits = reg.Counter("order.partition_cache.hits")
 	c.obsMisses = reg.Counter("order.partition_cache.misses")
 	c.obsClasses = reg.Histogram("order.partition.classes", obs.ExpBounds(1, 4, 16))
+	c.obsSpillEvictions = reg.Counter("order.spill.evictions")
+	c.obsSpillReloads = reg.Counter("order.spill.reloads")
+	c.obsSpillRetries = reg.Counter("order.spill.retries")
+	c.obsSpillRecomputes = reg.Counter("order.spill.recomputes")
+	c.obsSpillFailures = reg.Counter("order.spill.write_failures")
 }
 
 // stopped reports whether a cooperative stop has been requested.
@@ -222,6 +240,16 @@ func (c *PartitionChecker) Partition(x attr.List) *SortedPartition {
 	}
 	c.mu.Unlock()
 	c.obsMisses.Inc()
+	// A spilled exact match beats re-deriving: one verified disk read vs a
+	// chain of counting passes. Damaged or missing segments fall through to
+	// derivation — always correct, never wrong results.
+	if c.sm != nil {
+		if sp := c.loadSpilled(key); sp != nil {
+			c.put(key, sp)
+			c.obsClasses.Observe(int64(sp.NumClasses()))
+			return sp
+		}
+	}
 	// longest cached proper prefix
 	var sp *SortedPartition
 	depth := 0
@@ -253,16 +281,25 @@ func (c *PartitionChecker) put(key string, sp *SortedPartition) {
 		return
 	}
 	faultinject.Point("order.partition.cacheput")
+	var evictKey string
+	var evictSP *SortedPartition
 	c.mu.Lock()
 	if _, ok := c.cache[key]; !ok {
 		if len(c.fifo) >= c.cap {
-			delete(c.cache, c.fifo[0])
+			evictKey = c.fifo[0]
+			evictSP = c.cache[evictKey]
+			delete(c.cache, evictKey)
 			c.fifo = c.fifo[1:]
 		}
 		c.cache[key] = sp
 		c.fifo = append(c.fifo, key)
 	}
 	c.mu.Unlock()
+	// The FIFO victim spills instead of vanishing — file I/O outside the
+	// lock so concurrent checks keep flowing.
+	if evictSP != nil && c.sm != nil {
+		c.spillPartition(evictKey, evictSP)
+	}
 }
 
 // CheckOD reports whether X → Y holds, scanning X's sorted partition: rows

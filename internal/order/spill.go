@@ -1,0 +1,299 @@
+package order
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ocd/internal/spill"
+)
+
+// This file gives both checker backends an out-of-core mode: when a spill
+// manager is attached (SetSpill), cache eviction writes the evicted entry
+// to a checksummed disk segment instead of discarding it, and a cache miss
+// tries to reload the segment before recomputing from rank codes.
+//
+// Spilled entries are pure cache — everything here can be rebuilt from the
+// relation — so spill I/O failures degrade instead of propagating, in a
+// fixed ladder (docs/ROBUSTNESS.md):
+//
+//  1. retry the read/write once (transient fault);
+//  2. drop the segment and recompute from rank codes (always correct);
+//  3. only the engine-level budget check, finding no spill progress at
+//     all, may then truncate the run with reason "memory-budget".
+//
+// No rung returns unproven data: a torn or bit-flipped segment fails the
+// spill package's checksum verification, and the structural decode below
+// re-validates shape before anything reaches a check.
+
+// encodePartition serializes a sorted partition: two little-endian uint64
+// lengths followed by Idx and Ends as little-endian int32s.
+func encodePartition(sp *SortedPartition) []byte {
+	buf := make([]byte, 16+4*len(sp.Idx)+4*len(sp.Ends))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(len(sp.Idx)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(sp.Ends)))
+	off := 16
+	for _, v := range sp.Idx {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	for _, v := range sp.Ends {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	return buf
+}
+
+// errSpillShape is wrapped into decode errors for structurally invalid
+// payloads; callers treat it like any other damaged segment (drop and
+// recompute).
+var errSpillShape = errors.New("order: spilled payload has invalid shape")
+
+// decodePartition deserializes and structurally validates a partition for
+// a relation of numRows rows: rows in range, class ends strictly
+// increasing and covering Idx exactly. A valid checksum already rules out
+// accidental damage; this guards the engine against using a segment from
+// a different relation shape.
+func decodePartition(payload []byte, numRows int) (*SortedPartition, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("%w: %d bytes", errSpillShape, len(payload))
+	}
+	nIdx := binary.LittleEndian.Uint64(payload[0:])
+	nEnds := binary.LittleEndian.Uint64(payload[8:])
+	if nIdx != uint64(numRows) || nEnds > nIdx+1 {
+		return nil, fmt.Errorf("%w: %d rows, %d classes for a %d-row relation", errSpillShape, nIdx, nEnds, numRows)
+	}
+	if uint64(len(payload)) != 16+4*nIdx+4*nEnds {
+		return nil, fmt.Errorf("%w: %d bytes for %d rows, %d classes", errSpillShape, len(payload), nIdx, nEnds)
+	}
+	sp := &SortedPartition{
+		Idx:  make([]int32, nIdx),
+		Ends: make([]int32, nEnds),
+	}
+	off := 16
+	for i := range sp.Idx {
+		v := int32(binary.LittleEndian.Uint32(payload[off:]))
+		if v < 0 || int(v) >= numRows {
+			return nil, fmt.Errorf("%w: row %d out of range", errSpillShape, v)
+		}
+		sp.Idx[i] = v
+		off += 4
+	}
+	prev := int32(0)
+	for i := range sp.Ends {
+		v := int32(binary.LittleEndian.Uint32(payload[off:]))
+		if v <= prev {
+			return nil, fmt.Errorf("%w: class ends not increasing", errSpillShape)
+		}
+		sp.Ends[i] = v
+		prev = v
+		off += 4
+	}
+	if numRows > 0 && (nEnds == 0 || prev != int32(numRows)) {
+		return nil, fmt.Errorf("%w: classes cover %d of %d rows", errSpillShape, prev, numRows)
+	}
+	return sp, nil
+}
+
+// encodeIndex serializes a sorted index: a little-endian uint64 length
+// followed by the positions as little-endian int32s.
+func encodeIndex(idx []int32) []byte {
+	buf := make([]byte, 8+4*len(idx))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(len(idx)))
+	off := 8
+	for _, v := range idx {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+		off += 4
+	}
+	return buf
+}
+
+// decodeIndex deserializes and validates a sorted index for a relation of
+// numRows rows.
+func decodeIndex(payload []byte, numRows int) ([]int32, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes", errSpillShape, len(payload))
+	}
+	n := binary.LittleEndian.Uint64(payload[0:])
+	if n != uint64(numRows) || uint64(len(payload)) != 8+4*n {
+		return nil, fmt.Errorf("%w: %d positions in %d bytes for a %d-row relation", errSpillShape, n, len(payload), numRows)
+	}
+	idx := make([]int32, n)
+	off := 8
+	for i := range idx {
+		v := int32(binary.LittleEndian.Uint32(payload[off:]))
+		if v < 0 || int(v) >= numRows {
+			return nil, fmt.Errorf("%w: row %d out of range", errSpillShape, v)
+		}
+		idx[i] = v
+		off += 4
+	}
+	return idx, nil
+}
+
+// spillPut writes one payload with the write rung of the ladder: retry
+// once on failure, then give up (the entry is recomputed on demand).
+// Reports whether the payload is durably spilled.
+func spillPut(sm *spill.Manager, key string, payload []byte, retries, failures func()) bool {
+	if err := sm.Put(key, payload); err != nil {
+		retries()
+		if err := sm.Put(key, payload); err != nil {
+			failures()
+			return false
+		}
+	}
+	return true
+}
+
+// spillGet reads one payload with the read rung of the ladder: retry once
+// on any failure, then drop the segment so the caller recomputes from rank
+// codes. nil means no usable segment.
+func spillGet(sm *spill.Manager, key string, retries, recomputes func()) []byte {
+	payload, err := sm.Get(key)
+	if err != nil {
+		if errors.Is(err, spill.ErrNoSegment) {
+			return nil
+		}
+		retries()
+		payload, err = sm.Get(key)
+		if err != nil {
+			// Torn, corrupt, or persistently failing: the segment is useless.
+			// Forget it and let the caller recompute — never use damaged data.
+			sm.Drop(key)
+			recomputes()
+			return nil
+		}
+	}
+	return payload
+}
+
+// SetSpill attaches a spill manager: cache evictions spill to disk and
+// misses reload from it. Not safe to call concurrently with checks.
+func (c *PartitionChecker) SetSpill(sm *spill.Manager) { c.sm = sm }
+
+// SpillStats returns how many partitions were spilled to disk and how many
+// were reloaded from it.
+func (c *PartitionChecker) SpillStats() (evictions, reloads int64) {
+	return c.spillEvictions.Load(), c.spillReloads.Load()
+}
+
+// spillPartition writes one evicted partition to the spill manager,
+// following the write ladder. Must be called without c.mu held.
+func (c *PartitionChecker) spillPartition(key string, sp *SortedPartition) bool {
+	if !spillPut(c.sm, key, encodePartition(sp), c.obsSpillRetries.Inc, c.obsSpillFailures.Inc) {
+		return false
+	}
+	c.spillEvictions.Add(1)
+	c.obsSpillEvictions.Inc()
+	return true
+}
+
+// loadSpilled reloads the partition for key from the spill manager,
+// following the read ladder. nil means recompute. Must be called without
+// c.mu held.
+func (c *PartitionChecker) loadSpilled(key string) *SortedPartition {
+	payload := spillGet(c.sm, key, c.obsSpillRetries.Inc, c.obsSpillRecomputes.Inc)
+	if payload == nil {
+		return nil
+	}
+	sp, err := decodePartition(payload, c.r.NumRows())
+	if err != nil {
+		c.sm.Drop(key)
+		c.obsSpillRecomputes.Inc()
+		return nil
+	}
+	c.spillReloads.Add(1)
+	c.obsSpillReloads.Inc()
+	return sp
+}
+
+// EvictToSpill moves every cached partition to disk and clears the memory
+// cache — the engine's first response to a tripped memory budget. Returns
+// the number of partitions durably spilled; 0 (nothing cached, or no spill
+// manager, or every write failed) tells the engine this rung made no
+// progress.
+func (c *PartitionChecker) EvictToSpill() int {
+	if c.sm == nil {
+		return 0
+	}
+	c.mu.Lock()
+	keys := c.fifo
+	parts := make([]*SortedPartition, len(keys))
+	for i, k := range keys {
+		parts[i] = c.cache[k]
+	}
+	c.cache = make(map[string]*SortedPartition)
+	c.fifo = nil
+	c.mu.Unlock()
+	n := 0
+	for i, k := range keys {
+		if parts[i] != nil && c.spillPartition(k, parts[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetSpill attaches a spill manager: cache evictions spill to disk and
+// misses reload from it. Not safe to call concurrently with checks.
+func (c *Checker) SetSpill(sm *spill.Manager) { c.sm = sm }
+
+// SpillStats returns how many sorted indexes were spilled to disk and how
+// many were reloaded from it.
+func (c *Checker) SpillStats() (evictions, reloads int64) {
+	return c.spillEvictions.Load(), c.spillReloads.Load()
+}
+
+// spillIndex writes one evicted index to the spill manager, following the
+// write ladder. Must be called without c.mu held.
+func (c *Checker) spillIndex(key string, idx []int32) bool {
+	if !spillPut(c.sm, key, encodeIndex(idx), c.obsSpillRetries.Inc, c.obsSpillFailures.Inc) {
+		return false
+	}
+	c.spillEvictions.Add(1)
+	c.obsSpillEvictions.Inc()
+	return true
+}
+
+// loadSpilled reloads the index for key from the spill manager, following
+// the read ladder. nil means recompute. Must be called without c.mu held.
+func (c *Checker) loadSpilled(key string) []int32 {
+	payload := spillGet(c.sm, key, c.obsSpillRetries.Inc, c.obsSpillRecomputes.Inc)
+	if payload == nil {
+		return nil
+	}
+	idx, err := decodeIndex(payload, c.r.NumRows())
+	if err != nil {
+		c.sm.Drop(key)
+		c.obsSpillRecomputes.Inc()
+		return nil
+	}
+	c.spillReloads.Add(1)
+	c.obsSpillReloads.Inc()
+	return idx
+}
+
+// EvictToSpill moves every cached sorted index to disk and clears the
+// memory cache. Returns the number of indexes durably spilled; see
+// PartitionChecker.EvictToSpill for the contract.
+func (c *Checker) EvictToSpill() int {
+	if c.sm == nil {
+		return 0
+	}
+	c.mu.Lock()
+	keys := c.fifo
+	idxs := make([][]int32, len(keys))
+	for i, k := range keys {
+		idxs[i] = c.cache[k]
+	}
+	c.cache = make(map[string][]int32)
+	c.fifo = nil
+	c.mu.Unlock()
+	n := 0
+	for i, k := range keys {
+		if idxs[i] != nil && c.spillIndex(k, idxs[i]) {
+			n++
+		}
+	}
+	return n
+}

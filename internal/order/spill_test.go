@@ -1,0 +1,241 @@
+package order
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ocd/internal/attr"
+	"ocd/internal/spill"
+)
+
+func newTestSpill(t *testing.T) *spill.Manager {
+	t.Helper()
+	sm, err := spill.NewManager(filepath.Join(t.TempDir(), "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sm.Close() })
+	return sm
+}
+
+func TestPartitionCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(80)
+		r := randomRelation(rng, rows, 3, 4)
+		x := randomList(rng, 3, 3)
+		want := Base(rows)
+		for _, a := range x {
+			want = want.Extend(r, a)
+		}
+		got, err := decodePartition(encodePartition(want), rows)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got.Idx) != len(want.Idx) || len(got.Ends) != len(want.Ends) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range want.Idx {
+			if got.Idx[i] != want.Idx[i] {
+				t.Fatalf("trial %d: Idx[%d] = %d, want %d", trial, i, got.Idx[i], want.Idx[i])
+			}
+		}
+		for i := range want.Ends {
+			if got.Ends[i] != want.Ends[i] {
+				t.Fatalf("trial %d: Ends[%d] = %d, want %d", trial, i, got.Ends[i], want.Ends[i])
+			}
+		}
+	}
+}
+
+func TestPartitionCodecRejectsBadShapes(t *testing.T) {
+	sp := Base(4).Extend(taxTable(), 0)
+	good := encodePartition(sp)
+	cases := map[string][]byte{
+		"short":      good[:10],
+		"wrong rows": good, // decoded against the wrong relation size below
+		"truncated":  good[:len(good)-4],
+	}
+	if _, err := decodePartition(cases["short"], 4); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := decodePartition(cases["wrong rows"], 5); err == nil {
+		t.Error("payload for 4 rows accepted for a 5-row relation")
+	}
+	if _, err := decodePartition(cases["truncated"], 4); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[16] = 0xFF // Idx[0] out of range
+	bad[17] = 0xFF
+	bad[18] = 0xFF
+	bad[19] = 0x7F
+	if _, err := decodePartition(bad, 4); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	idx := []int32{3, 1, 0, 2}
+	got, err := decodeIndex(encodeIndex(idx), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if got[i] != idx[i] {
+			t.Fatalf("decode = %v, want %v", got, idx)
+		}
+	}
+	if _, err := decodeIndex(encodeIndex(idx), 5); err == nil {
+		t.Error("index for 4 rows accepted for a 5-row relation")
+	}
+	if _, err := decodeIndex([]byte{1, 2}, 4); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := decodeIndex(encodeIndex([]int32{4, 0, 1, 2}), 4); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if !errors.Is(func() error { _, err := decodeIndex(nil, 0); return err }(), errSpillShape) {
+		t.Error("decode errors should wrap errSpillShape")
+	}
+}
+
+// TestPartitionCheckerSpillsAndReloads: a tiny cache under a spill manager
+// must evict to disk, reload on demand, and answer every check exactly as
+// an unconstrained in-memory checker does.
+func TestPartitionCheckerSpillsAndReloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := randomRelation(rng, 60, 5, 3)
+	mem := NewPartitionChecker(r, 1024)
+	spilled := NewPartitionChecker(r, 2) // tiny: almost every put evicts
+	spilled.SetSpill(newTestSpill(t))
+
+	lists := make([][2]attr.List, 0, 60)
+	for i := 0; i < 60; i++ {
+		x, y := randomList(rng, 5, 2), randomList(rng, 5, 2)
+		lists = append(lists, [2]attr.List{x, y})
+	}
+	// Two passes: the second pass hits spilled segments for lists whose
+	// partitions were evicted during the first.
+	for pass := 0; pass < 2; pass++ {
+		for i, l := range lists {
+			if got, want := spilled.CheckOD(l[0], l[1]), mem.CheckOD(l[0], l[1]); got != want {
+				t.Fatalf("pass %d list %d: CheckOD = %v, want %v", pass, i, got, want)
+			}
+			if got, want := spilled.CheckOCD(l[0], l[1]), mem.CheckOCD(l[0], l[1]); got != want {
+				t.Fatalf("pass %d list %d: CheckOCD = %v, want %v", pass, i, got, want)
+			}
+		}
+	}
+	ev, rel := spilled.SpillStats()
+	if ev == 0 {
+		t.Error("no partitions were spilled despite a cap-2 cache")
+	}
+	if rel == 0 {
+		t.Error("no partitions were reloaded from spill")
+	}
+}
+
+// TestCheckerSpillsAndReloads: same contract for the sorted-index backend.
+func TestCheckerSpillsAndReloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	r := randomRelation(rng, 60, 5, 3)
+	mem := NewChecker(r, 1024)
+	spilled := NewChecker(r, 2)
+	spilled.SetSpill(newTestSpill(t))
+
+	for pass := 0; pass < 2; pass++ {
+		rng2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			x, y := randomList(rng2, 5, 2), randomList(rng2, 5, 2)
+			if got, want := spilled.CheckOD(x, y), mem.CheckOD(x, y); got != want {
+				t.Fatalf("pass %d check %d: CheckOD = %v, want %v", pass, i, got, want)
+			}
+			if got, want := spilled.CheckOCD(x, y), mem.CheckOCD(x, y); got != want {
+				t.Fatalf("pass %d check %d: CheckOCD = %v, want %v", pass, i, got, want)
+			}
+		}
+	}
+	ev, rel := spilled.SpillStats()
+	if ev == 0 || rel == 0 {
+		t.Errorf("SpillStats = (%d, %d), want both > 0", ev, rel)
+	}
+}
+
+// TestEvictToSpill: the budget-trip entry point moves the whole cache to
+// disk; subsequent checks reload rather than rebuild and stay correct.
+func TestEvictToSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	r := randomRelation(rng, 40, 4, 3)
+	c := NewPartitionChecker(r, 64)
+	sm := newTestSpill(t)
+	c.SetSpill(sm)
+
+	lists := make([]attr.List, 0, 10)
+	for i := 0; i < 10; i++ {
+		lists = append(lists, randomList(rng, 4, 2))
+	}
+	for _, x := range lists {
+		c.Partition(x)
+	}
+	n := c.EvictToSpill()
+	if n == 0 {
+		t.Fatal("EvictToSpill moved nothing despite a warm cache")
+	}
+	if sm.Len() == 0 {
+		t.Fatal("no segments on disk after EvictToSpill")
+	}
+	// Checks after a full eviction reload from disk and stay exact.
+	mem := NewPartitionChecker(r, 64)
+	for i, x := range lists {
+		for j, y := range lists {
+			if got, want := c.CheckOD(x, y), mem.CheckOD(x, y); got != want {
+				t.Fatalf("(%d,%d): CheckOD = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	_, rel := c.SpillStats()
+	if rel == 0 {
+		t.Error("no reloads after a full eviction")
+	}
+
+	// Without a manager the rung reports no progress.
+	bare := NewPartitionChecker(r, 64)
+	bare.Partition(lists[0])
+	if n := bare.EvictToSpill(); n != 0 {
+		t.Errorf("EvictToSpill without a manager = %d, want 0", n)
+	}
+}
+
+// TestCheckerEvictToSpill mirrors TestEvictToSpill for the index backend.
+func TestCheckerEvictToSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	r := randomRelation(rng, 40, 4, 3)
+	c := NewChecker(r, 64)
+	c.SetSpill(newTestSpill(t))
+	lists := make([]attr.List, 0, 8)
+	for i := 0; i < 8; i++ {
+		x := randomList(rng, 4, 2)
+		lists = append(lists, x)
+		c.SortedIndex(x)
+	}
+	if n := c.EvictToSpill(); n == 0 {
+		t.Fatal("EvictToSpill moved nothing despite a warm cache")
+	}
+	mem := NewChecker(r, 64)
+	for i, x := range lists {
+		idx := c.SortedIndex(x)
+		want := mem.SortedIndex(x)
+		for j := range want {
+			if idx[j] != want[j] {
+				t.Fatalf("list %d: reloaded index differs at %d", i, j)
+			}
+		}
+	}
+	_, rel := c.SpillStats()
+	if rel == 0 {
+		t.Error("no reloads after a full eviction")
+	}
+}

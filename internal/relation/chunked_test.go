@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// assertSameRelation compares every observable of two relations; chunked
+// ingestion promises cell-for-cell identity with the whole-file path.
+func assertSameRelation(t *testing.T, want, got *Relation) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Errorf("Name: %q vs %q", want.Name, got.Name)
+	}
+	if !reflect.DeepEqual(want.ColNames, got.ColNames) {
+		t.Errorf("ColNames: %v vs %v", want.ColNames, got.ColNames)
+	}
+	if !reflect.DeepEqual(want.Kinds, got.Kinds) {
+		t.Errorf("Kinds: %v vs %v", want.Kinds, got.Kinds)
+	}
+	if !reflect.DeepEqual(want.Codes, got.Codes) {
+		t.Errorf("Codes differ:\nwant %v\ngot  %v", want.Codes, got.Codes)
+	}
+	if !reflect.DeepEqual(want.display, got.display) {
+		t.Errorf("display differs:\nwant %v\ngot  %v", want.display, got.display)
+	}
+	if !reflect.DeepEqual(want.distinct, got.distinct) {
+		t.Errorf("distinct: %v vs %v", want.distinct, got.distinct)
+	}
+	if !reflect.DeepEqual(want.hasNull, got.hasNull) {
+		t.Errorf("hasNull: %v vs %v", want.hasNull, got.hasNull)
+	}
+	if want.rows != got.rows {
+		t.Errorf("rows: %d vs %d", want.rows, got.rows)
+	}
+}
+
+func TestChunkedMatchesWholeFile(t *testing.T) {
+	cases := map[string]struct {
+		csv  string
+		opts CSVOptions
+	}{
+		"ints": {csv: "a,b\n3,1\n1,2\n2,3\n3,1\n"},
+		"respellings": {
+			// "1"/"01" and "1.0"/"1.00" must merge into one code on both paths.
+			csv: "a,b\n01,1.0\n1,1.00\n2,2.5\n",
+		},
+		"nulls": {csv: "a,b\n1,\nNULL,2\n?,null\n3,4\n"},
+		"nan-floats": {
+			csv: "x\nNaN\n1.5\n-2.25\nNaN\n0.0\n",
+		},
+		"strings":     {csv: "s,t\nfoo,x\nbar,y\nfoo,z\n"},
+		"mixed-kinds": {csv: "a,b,c\n1,1.5,zz\n2,x,3\n"},
+		"no-header": {
+			csv:  "5,foo\n2,bar\n5,baz\n",
+			opts: CSVOptions{NoHeader: true},
+		},
+		"force-string": {
+			csv:  "a\n10\n9\n100\n",
+			opts: CSVOptions{Options: Options{ForceString: true}},
+		},
+		"semicolon": {
+			csv:  "a;b\n1;2\n3;4\n",
+			opts: CSVOptions{Comma: ';'},
+		},
+		"header-only": {csv: "a,b\n"},
+		"custom-nulls": {
+			csv:  "a\nNA\n1\n2\n",
+			opts: CSVOptions{Options: Options{NullTokens: []string{"NA"}}},
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			want, err := ReadCSV(strings.NewReader(tc.csv), "t", tc.opts)
+			if err != nil {
+				t.Fatalf("ReadCSV: %v", err)
+			}
+			for _, chunkRows := range []int{1, 2, 3, 1 << 20} {
+				opts := tc.opts
+				opts.ChunkRows = chunkRows
+				got, err := ReadCSVChunked(strings.NewReader(tc.csv), "t", opts)
+				if err != nil {
+					t.Fatalf("ChunkRows=%d: %v", chunkRows, err)
+				}
+				assertSameRelation(t, want, got)
+			}
+		})
+	}
+}
+
+func TestChunkedEmptyInputErrors(t *testing.T) {
+	_, err := ReadCSVChunked(strings.NewReader(""), "t", CSVOptions{})
+	if err == nil || !strings.Contains(err.Error(), "empty input") {
+		t.Fatalf("err = %v, want empty-input error", err)
+	}
+}
+
+func TestChunkedRaggedRowErrorIsOneBased(t *testing.T) {
+	// The short row is the 3rd data row; chunk size 2 puts it in the second
+	// chunk, so the error must still report the global row number.
+	in := "a,b\n1,2\n3,4\n5\n"
+	_, err := ReadCSVChunked(strings.NewReader(in), "t", CSVOptions{ChunkRows: 2})
+	if err == nil || !strings.Contains(err.Error(), "row 3 has 1 fields, want 2") {
+		t.Fatalf("err = %v, want 1-based row 3", err)
+	}
+}
+
+// TestChunkedBuilderTracksFirstOccurrence pins the bookkeeping that keeps
+// chunked coercion errors 1-based and global: a value first seen in a later
+// chunk records its absolute data row, and duplicates never update it.
+func TestChunkedBuilderTracksFirstOccurrence(t *testing.T) {
+	b := newColBuilder()
+	b.addChunk([][]string{{"a"}, {"b"}}, 0, nil, 0)
+	b.addChunk([][]string{{"b"}, {"c"}}, 0, nil, 2)
+	want := map[string]int{"a": 1, "b": 2, "c": 4}
+	for id, s := range b.vals {
+		if b.firstRow[id] != want[s] {
+			t.Errorf("firstRow[%q] = %d, want %d", s, b.firstRow[id], want[s])
+		}
+	}
+	if len(b.codes) != 4 {
+		t.Errorf("codes rows = %d, want 4", len(b.codes))
+	}
+}
+
+func TestChunkedStopAborts(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a\n")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("1\n")
+	}
+	calls := 0
+	opts := CSVOptions{Options: Options{Stop: func() bool {
+		calls++
+		return calls > 1
+	}}}
+	_, err := ReadCSVChunked(strings.NewReader(sb.String()), "t", opts)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+// FuzzChunkedEquivalence cross-checks the two ingestion paths on arbitrary
+// CSV bytes: whenever both accept the input they must produce identical
+// relations, and they must agree on acceptance.
+func FuzzChunkedEquivalence(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n", 1)
+	f.Add("a,b\n01,x\n1,y\nNULL,?\n", 2)
+	f.Add("x\nNaN\n1.0\n1.00\n", 3)
+	f.Fuzz(func(t *testing.T, data string, chunkRows int) {
+		if len(data) > 1<<16 {
+			return
+		}
+		whole, werr := ReadCSV(strings.NewReader(data), "f", CSVOptions{})
+		chunked, cerr := ReadCSVChunked(strings.NewReader(data), "f",
+			CSVOptions{ChunkRows: chunkRows%64 + 1})
+		if (werr == nil) != (cerr == nil) {
+			t.Fatalf("acceptance differs: whole=%v chunked=%v", werr, cerr)
+		}
+		if werr != nil {
+			return
+		}
+		assertSameRelation(t, whole, chunked)
+	})
+}

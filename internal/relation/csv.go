@@ -16,6 +16,9 @@ type CSVOptions struct {
 	// NoHeader indicates the first record is data, not column names; in
 	// that case columns are named A, B, C, … .
 	NoHeader bool
+	// ChunkRows is the row-buffer size of ReadCSVChunked; values < 1 select
+	// DefaultChunkRows. Ignored by ReadCSV, which buffers the whole file.
+	ChunkRows int
 	// Relation options (type inference, NULL tokens).
 	Options
 }

@@ -348,18 +348,80 @@ func inferKind(raw []string, nulls map[string]bool) Kind {
 	return kind
 }
 
+// rankEntry is one distinct non-NULL value of a column, with its numeric
+// form pre-parsed for KindInt/KindFloat ordering.
+type rankEntry struct {
+	s string
+	i int64
+	f float64
+}
+
+// rankValues assigns final rank codes to a column's distinct values: sort in
+// the kind's natural order (spelling as tiebreak), then merge distinct
+// numeric values with multiple spellings ("1" vs "01", "1.0" vs "1.00")
+// into one code so that equal values compare equal. codes[k] is the final
+// code of entries[k]; display maps code → representative spelling, with
+// code 0 reserved for NULL. This is the single ranking routine shared by
+// the whole-file and chunked ingestion paths — sharing it is what keeps the
+// two paths' relations (and therefore checkpoint fingerprints) identical.
+func rankValues(entries []rankEntry, kind Kind) (codes []int32, display []string, distinct int) {
+	ord := make([]int, len(entries))
+	for i := range ord {
+		ord[i] = i
+	}
+	switch kind {
+	case KindInt:
+		sort.Slice(ord, func(a, b int) bool {
+			ea, eb := entries[ord[a]], entries[ord[b]]
+			if ea.i != eb.i {
+				return ea.i < eb.i
+			}
+			return ea.s < eb.s
+		})
+	case KindFloat:
+		sort.Slice(ord, func(a, b int) bool {
+			ea, eb := entries[ord[a]], entries[ord[b]]
+			if c := cmpFloat(ea.f, eb.f); c != 0 {
+				return c < 0
+			}
+			return ea.s < eb.s
+		})
+	default:
+		sort.Slice(ord, func(a, b int) bool { return entries[ord[a]].s < entries[ord[b]].s })
+	}
+	codes = make([]int32, len(entries))
+	display = []string{"NULL"}
+	var next int32 = 0
+	for k, idx := range ord {
+		same := false
+		if k > 0 {
+			prev := entries[ord[k-1]]
+			switch kind {
+			case KindInt:
+				same = entries[idx].i == prev.i
+			case KindFloat:
+				same = cmpFloat(entries[idx].f, prev.f) == 0
+			default:
+				same = false // distinct strings are distinct values
+			}
+		}
+		if !same {
+			next++
+			display = append(display, entries[idx].s)
+		}
+		codes[idx] = next
+	}
+	return codes, display, int(next)
+}
+
 // encodeColumn rank-encodes one column. Codes are dense: NULL=0 and the
 // distinct non-NULL values get 1..k in their natural order. stop, when
 // non-nil, is polled every stopEvery rows of the value scan so a cancelled
 // ingestion aborts mid-column instead of finishing a multi-million-row
 // encode it will throw away.
 func encodeColumn(raw []string, kind Kind, nulls map[string]bool, stop func() bool) (codes []int32, display []string, distinct int, hasNull bool, err error) {
-	type entry struct {
-		s string
-		i int64
-		f float64
-	}
-	seen := make(map[string]entry)
+	seen := make(map[string]int32) // value → index into entries
+	var entries []rankEntry
 	for row, s := range raw {
 		if stop != nil && row%stopEvery == 0 && stop() {
 			return nil, nil, 0, false, ErrStopped
@@ -371,7 +433,7 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool, stop func() bo
 		if _, ok := seen[s]; ok {
 			continue
 		}
-		e := entry{s: s}
+		e := rankEntry{s: s}
 		// row+1: errors report 1-based data rows, and the first occurrence
 		// of a distinct value is the row that fails to coerce.
 		switch kind {
@@ -386,62 +448,17 @@ func encodeColumn(raw []string, kind Kind, nulls map[string]bool, stop func() bo
 				return nil, nil, 0, false, fmt.Errorf("row %d: value %q does not parse as REAL", row+1, s)
 			}
 		}
-		seen[s] = e
-	}
-	entries := make([]entry, 0, len(seen))
-	for _, e := range seen {
+		seen[s] = int32(len(entries))
 		entries = append(entries, e)
 	}
-	switch kind {
-	case KindInt:
-		sort.Slice(entries, func(a, b int) bool {
-			if entries[a].i != entries[b].i {
-				return entries[a].i < entries[b].i
-			}
-			return entries[a].s < entries[b].s
-		})
-	case KindFloat:
-		sort.Slice(entries, func(a, b int) bool {
-			if c := cmpFloat(entries[a].f, entries[b].f); c != 0 {
-				return c < 0
-			}
-			return entries[a].s < entries[b].s
-		})
-	default:
-		sort.Slice(entries, func(a, b int) bool { return entries[a].s < entries[b].s })
-	}
-	// Distinct numeric values can have multiple string spellings ("1" vs
-	// "01", "1.0" vs "1.00"); merge them into one code so that equal values
-	// compare equal.
-	rank := make(map[string]int32, len(entries))
-	display = []string{"NULL"}
-	var next int32 = 0
-	for i, e := range entries {
-		same := false
-		if i > 0 {
-			switch kind {
-			case KindInt:
-				same = e.i == entries[i-1].i
-			case KindFloat:
-				same = cmpFloat(e.f, entries[i-1].f) == 0
-			default:
-				same = false // distinct strings are distinct values
-			}
-		}
-		if !same {
-			next++
-			display = append(display, e.s)
-		}
-		rank[e.s] = next
-	}
-	distinct = int(next)
+	final, display, distinct := rankValues(entries, kind)
 	codes = make([]int32, len(raw))
 	for i, s := range raw {
 		if nulls[s] {
 			codes[i] = NullCode
 			continue
 		}
-		codes[i] = rank[s]
+		codes[i] = final[seen[s]]
 	}
 	return codes, display, distinct, hasNull, nil
 }

@@ -1,0 +1,119 @@
+//go:build faultinject
+
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ocd/internal/faultinject"
+)
+
+// TestInjectedWriteError: an armed "spill.write" fails the Put with an
+// error matching faultinject.ErrInjected; nothing is recorded and a
+// previous segment for the key stays readable.
+func TestInjectedWriteError(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	m := newTestManager(t)
+	if err := m.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("spill.write", faultinject.Rule{Action: faultinject.ActionErr, Nth: 1})
+	err := m.Put("k", []byte("new"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put under spill.write fault: %v, want ErrInjected", err)
+	}
+	got, err := m.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("old")) {
+		t.Errorf("previous segment after failed Put: %q, %v; want \"old\", nil", got, err)
+	}
+	// The failed write fired before any file I/O: the next Put succeeds.
+	if err := m.Put("k", []byte("new")); err != nil {
+		t.Fatalf("Put after fault cleared: %v", err)
+	}
+}
+
+// TestInjectedTornWrite: "spill.write.torn" reports success from Put — the
+// disk lied — and the damage surfaces at Get as ErrTorn.
+func TestInjectedTornWrite(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	m := newTestManager(t)
+	faultinject.Arm("spill.write.torn", faultinject.Rule{Action: faultinject.ActionErr, Nth: 1})
+	if err := m.Put("k", bytes.Repeat([]byte("x"), 500)); err != nil {
+		t.Fatalf("torn Put must still report success, got %v", err)
+	}
+	if _, err := m.Get("k"); !errors.Is(err, ErrTorn) {
+		t.Errorf("Get on torn segment: %v, want ErrTorn", err)
+	}
+	// The ladder's recovery: drop and rewrite.
+	m.Drop("k")
+	if err := m.Put("k", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.Get("k"); err != nil || !bytes.Equal(got, []byte("good")) {
+		t.Errorf("rewritten segment: %q, %v", got, err)
+	}
+}
+
+// TestInjectedReadError: "spill.read" fails the Get without touching the
+// segment — a retry succeeds, which is exactly the callers' first ladder
+// rung.
+func TestInjectedReadError(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	m := newTestManager(t)
+	if err := m.Put("k", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("spill.read", faultinject.Rule{Action: faultinject.ActionErr, Nth: 1})
+	if _, err := m.Get("k"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Get under spill.read fault: %v, want ErrInjected", err)
+	}
+	got, err := m.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("data")) {
+		t.Errorf("retry after transient read fault: %q, %v", got, err)
+	}
+}
+
+// TestInjectedReadCorruption: "spill.read.corrupt" flips a payload bit
+// after the read; the checksum must catch it and Get must return ErrCorrupt
+// rather than the damaged bytes.
+func TestInjectedReadCorruption(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	m := newTestManager(t)
+	if err := m.Put("k", bytes.Repeat([]byte{0x5A}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm("spill.read.corrupt", faultinject.Rule{Action: faultinject.ActionErr, Nth: 1})
+	if _, err := m.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get under bit-rot fault: %v, want ErrCorrupt", err)
+	}
+	// The file itself is undamaged: a retry reads it clean.
+	if _, err := m.Get("k"); err != nil {
+		t.Errorf("retry after injected bit rot: %v", err)
+	}
+}
+
+// TestManagerPathsUnaffectedByUnrelatedArming: arming a checkpoint point
+// must not perturb spill I/O.
+func TestManagerPathsUnaffectedByUnrelatedArming(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("checkpoint.write", faultinject.Rule{Action: faultinject.ActionErr, EveryK: 1})
+	m, err := NewManager(filepath.Join(t.TempDir(), "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+}

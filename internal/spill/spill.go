@@ -1,0 +1,437 @@
+// Package spill implements checksummed on-disk segments for caches that
+// overflow the soft memory budget — the out-of-core half of graceful
+// degradation (docs/ROBUSTNESS.md).
+//
+// A spill segment is a pure cache entry: it is never authoritative state.
+// Everything written here can be recomputed from the relation's rank codes,
+// so a damaged or missing segment is at worst a performance event, never a
+// correctness one. That contract shapes the format and the manager:
+//
+//   - Segments use the same discipline as internal/checkpoint: a
+//     human-inspectable header line followed by the payload,
+//
+//     OCDSPILL <version> <payload-bytes> <sha256-hex>\n
+//     <binary payload>
+//
+//     written to a temp file, fsynced, and atomically renamed into place. A
+//     torn write (truncated payload) surfaces as ErrTorn, damaged bytes
+//     (bad magic, checksum mismatch, malformed header) as ErrCorrupt; Get
+//     never returns partially verified data.
+//
+//   - The Manager wipes any leftover segment files when it opens a
+//     directory: after a crash the in-memory key map is gone, so the files
+//     are unreachable orphans and deleting them IS the recovery. The jobs
+//     layer gets crash orphan-sweeping for free the same way.
+//
+// Fault-injection points (faultinject build tag, docs/ROBUSTNESS.md):
+// "spill.write" and "spill.read" fail the operation with an injected error;
+// "spill.write.torn" truncates the synced segment mid-payload while still
+// reporting success (a lying disk); "spill.read.corrupt" flips a payload
+// bit after the read (bit rot). The callers' degradation ladder — retry
+// once, then recompute from rank codes — is chaos-tested through them.
+package spill
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ocd/internal/faultinject"
+)
+
+// FormatVersion is the current segment format version; Read refuses
+// segments written by a different one.
+const FormatVersion = 1
+
+// magic is the first header field; it doubles as a file-type sniff.
+const magic = "OCDSPILL"
+
+// maxPayload bounds the payload length accepted by a reader, so a corrupt
+// header cannot make the loader allocate unbounded memory.
+const maxPayload = 1 << 30
+
+// maxHeader bounds the header line.
+const maxHeader = 128
+
+// ErrCorrupt is wrapped into read errors caused by damaged bytes: bad
+// magic, malformed header, unsupported version, checksum mismatch, or
+// trailing garbage.
+var ErrCorrupt = errors.New("spill: corrupt segment")
+
+// ErrTorn is wrapped into read errors caused by a truncated segment — the
+// header claims more payload bytes than the file holds. Distinct from
+// ErrCorrupt so tests can pin which failure mode a chaos injection
+// produced; both degrade identically (drop the segment, recompute).
+var ErrTorn = errors.New("spill: torn segment")
+
+// ErrNoSegment is returned by Get for a key that holds no segment.
+var ErrNoSegment = errors.New("spill: no segment for key")
+
+// segExt and tmpExt name the manager's files; NewManager wipes both kinds.
+const (
+	segExt = ".seg"
+	tmpExt = ".tmp"
+)
+
+// Manager owns one spill directory and maps cache keys to verified
+// segments. All methods are safe for concurrent use; file I/O happens
+// outside the manager's lock.
+type Manager struct {
+	dir string
+
+	mu     sync.Mutex
+	segs   map[string]segment
+	seq    int64
+	bytes  int64 // payload bytes currently on disk
+	puts   int64
+	closed bool
+}
+
+type segment struct {
+	path string
+	size int64 // payload bytes
+}
+
+// NewManager opens (creating if needed) dir as a spill directory and wipes
+// any segment or temp files a previous process left behind: segments are
+// pure cache, and without the in-memory key map crash leftovers are
+// unreachable orphans.
+func NewManager(dir string) (*Manager, error) {
+	if dir == "" {
+		return nil, errors.New("spill: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	if err := wipe(dir); err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, segs: make(map[string]segment)}, nil
+}
+
+// wipe removes every spill segment and temp file directly inside dir.
+func wipe(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, segExt) || strings.HasSuffix(name, tmpExt) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("spill: sweeping orphan %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Sweep removes orphaned spill files under dir without opening a Manager —
+// the crash-recovery path for directories whose owning process died. It
+// recurses one level so a parent directory of per-job spill dirs can be
+// swept in one call; missing directories are a no-op.
+func Sweep(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("spill: %w", err)
+	}
+	if err := wipe(dir); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if err := wipe(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Dir returns the directory the manager spills into.
+func (m *Manager) Dir() string { return m.dir }
+
+// Put durably stores payload as the segment for key, replacing any previous
+// segment. The write is atomic (temp + fsync + rename); on error nothing is
+// recorded and any previous segment for key remains readable.
+func (m *Manager) Put(key string, payload []byte) error {
+	if err := faultinject.PointErr("spill.write"); err != nil {
+		return fmt.Errorf("spill: write %q: %w", key, err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errors.New("spill: manager closed")
+	}
+	m.seq++
+	path := filepath.Join(m.dir, "seg-"+strconv.FormatInt(m.seq, 10)+segExt)
+	m.mu.Unlock()
+
+	if err := writeSegment(path, payload); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		os.Remove(path) // lint:allow errdrop — best-effort cleanup after a racing Close
+		return errors.New("spill: manager closed")
+	}
+	old, had := m.segs[key]
+	m.segs[key] = segment{path: path, size: int64(len(payload))}
+	m.bytes += int64(len(payload))
+	if had {
+		m.bytes -= old.size
+	}
+	m.puts++
+	m.mu.Unlock()
+	if had {
+		os.Remove(old.path) // lint:allow errdrop — replaced segment, best-effort
+	}
+	return nil
+}
+
+// writeSegment writes one segment file atomically next to its destination.
+func writeSegment(path string, payload []byte) error {
+	tmp := path + tmpExt
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintf(w, "%s %d %d %s\n", magic, FormatVersion, len(payload), hex.EncodeToString(sum[:])); err != nil {
+		f.Close() // lint:allow errdrop — the write error is the one to report
+		os.Remove(tmp)
+		return fmt.Errorf("spill: write %s: %w", tmp, err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		f.Close() // lint:allow errdrop — the write error is the one to report
+		os.Remove(tmp)
+		return fmt.Errorf("spill: write %s: %w", tmp, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close() // lint:allow errdrop — the flush error is the one to report
+		os.Remove(tmp)
+		return fmt.Errorf("spill: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() // lint:allow errdrop — the sync error is the one to report
+		os.Remove(tmp)
+		return fmt.Errorf("spill: sync %s: %w", tmp, err)
+	}
+	// Chaos hook: a lying disk. The segment was synced and will be renamed
+	// into place, but its tail is gone — exactly what a torn power-loss
+	// write looks like. The injected "error" is the trigger, not a failure:
+	// Put still reports success, and the damage surfaces at Get as ErrTorn.
+	if ferr := faultinject.PointErr("spill.write.torn"); ferr != nil {
+		if st, serr := f.Stat(); serr == nil {
+			f.Truncate(st.Size() / 2) // lint:allow errdrop — chaos-only path, the read side detects anything
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("spill: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("spill: %w", err)
+	}
+	// Directory fsync is best-effort, as in internal/checkpoint: segments
+	// are cache, so losing one to a crash only costs a recompute.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync() // lint:allow errdrop — best-effort directory durability
+		d.Close()
+	}
+	return nil
+}
+
+// Get reads and fully verifies the segment for key. Errors: ErrNoSegment
+// when the key holds nothing, ErrTorn / ErrCorrupt (wrapped) for damaged
+// files, plain I/O errors otherwise. A verification failure does NOT drop
+// the segment — callers decide (Drop) after their retry policy runs.
+func (m *Manager) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	seg, ok := m.segs[key]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, errors.New("spill: manager closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSegment, key)
+	}
+	if err := faultinject.PointErr("spill.read"); err != nil {
+		return nil, fmt.Errorf("spill: read %q: %w", key, err)
+	}
+	payload, err := readSegment(seg.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: read %q: %w", key, err)
+	}
+	return payload, nil
+}
+
+// readSegment reads one segment file and verifies header, length, checksum
+// and the absence of trailing bytes.
+func readSegment(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(io.LimitReader(f, maxHeader+maxPayload+1))
+	header, err := br.ReadString('\n')
+	if err != nil {
+		// No complete header line: the file was cut before the payload even
+		// began — a torn write.
+		return nil, fmt.Errorf("%w: missing header: %v", ErrTorn, err)
+	}
+	if len(header) > maxHeader {
+		return nil, fmt.Errorf("%w: header too long", ErrCorrupt)
+	}
+	var (
+		gotMagic string
+		version  int
+		length   int
+		sumHex   string
+	)
+	if n, err := fmt.Sscanf(header, "%s %d %d %s\n", &gotMagic, &version, &length, &sumHex); n != 4 || err != nil {
+		return nil, fmt.Errorf("%w: malformed header %q", ErrCorrupt, trim(header))
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("%w: not a spill segment (magic %q)", ErrCorrupt, trim(gotMagic))
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: segment is version %d, this build reads version %d", ErrCorrupt, version, FormatVersion)
+	}
+	if length < 0 || length > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+	}
+	want, err := hex.DecodeString(sumHex)
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("%w: malformed checksum", ErrCorrupt)
+	}
+	var payloadBuf bytes.Buffer
+	if n, err := io.CopyN(&payloadBuf, br, int64(length)); err != nil {
+		return nil, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrTorn, n, length)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing bytes after payload", ErrCorrupt)
+	}
+	payload := payloadBuf.Bytes()
+	// Chaos hook: bit rot between disk and verification. Flipping one bit
+	// must be caught by the checksum below.
+	if ferr := faultinject.PointErr("spill.read.corrupt"); ferr != nil && len(payload) > 0 {
+		payload[len(payload)-1] ^= 0x01
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// trim shortens hostile strings quoted in error messages.
+func trim(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+// Drop removes the segment for key, if any. Removal failures are ignored:
+// the key is forgotten either way, and NewManager/Sweep collect strays.
+func (m *Manager) Drop(key string) {
+	m.mu.Lock()
+	seg, ok := m.segs[key]
+	if ok {
+		delete(m.segs, key)
+		m.bytes -= seg.size
+	}
+	m.mu.Unlock()
+	if ok {
+		os.Remove(seg.path) // lint:allow errdrop — best-effort, swept later
+	}
+}
+
+// Has reports whether key currently holds a segment.
+func (m *Manager) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.segs[key]
+	return ok
+}
+
+// Len returns the number of live segments.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.segs)
+}
+
+// BytesOnDisk returns the payload bytes currently spilled — the amount of
+// heap the budget traded for disk.
+func (m *Manager) BytesOnDisk() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Puts returns how many segments were ever written.
+func (m *Manager) Puts() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.puts
+}
+
+// Keys returns the live segment keys, sorted.
+func (m *Manager) Keys() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.segs))
+	for k := range m.segs {
+		keys = append(keys, k) // lint:allow mapdeterminism — sorted below
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Close removes every segment and forgets the keys. The directory itself
+// is left for its owner (a job dir, a CLI temp dir) to remove; a best-
+// effort Remove deletes it when it ends up empty.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	segs := make([]segment, 0, len(m.segs))
+	for _, s := range m.segs {
+		segs = append(segs, s) // lint:allow mapdeterminism — removal order is irrelevant
+	}
+	m.segs = nil
+	m.bytes = 0
+	m.mu.Unlock()
+	for _, s := range segs {
+		os.Remove(s.path) // lint:allow errdrop — best-effort, swept later
+	}
+	os.Remove(m.dir) // lint:allow errdrop — only succeeds when empty, by design
+	return nil
+}

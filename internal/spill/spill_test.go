@@ -1,0 +1,306 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(filepath.Join(t.TempDir(), "spill"))
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	m := newTestManager(t)
+	payloads := map[string][]byte{
+		"a":      []byte("hello"),
+		"empty":  {},
+		"binary": {0, 1, 2, 255, 254, 10, 13, 0},
+	}
+	for k, p := range payloads {
+		if err := m.Put(k, p); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for k, want := range payloads {
+		got, err := m.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Get(%q) = %q, want %q", k, got, want)
+		}
+	}
+	if m.Len() != len(payloads) {
+		t.Errorf("Len = %d, want %d", m.Len(), len(payloads))
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	m := newTestManager(t)
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("Get on empty manager: %v, want ErrNoSegment", err)
+	}
+}
+
+func TestPutReplacesAndAccountsBytes(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Put("k", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BytesOnDisk(); got != 100 {
+		t.Fatalf("BytesOnDisk = %d, want 100", got)
+	}
+	if err := m.Put("k", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BytesOnDisk(); got != 40 {
+		t.Errorf("BytesOnDisk after replace = %d, want 40", got)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	// The replaced segment's file must be gone: only one .seg remains.
+	if n := countSegFiles(t, m.Dir()); n != 1 {
+		t.Errorf("%d segment files after replace, want 1", n)
+	}
+	if got := m.Puts(); got != 2 {
+		t.Errorf("Puts = %d, want 2", got)
+	}
+}
+
+func TestDropForgetsAndRemoves(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.Drop("k")
+	if _, err := m.Get("k"); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("Get after Drop: %v, want ErrNoSegment", err)
+	}
+	if got := m.BytesOnDisk(); got != 0 {
+		t.Errorf("BytesOnDisk after Drop = %d, want 0", got)
+	}
+	if n := countSegFiles(t, m.Dir()); n != 0 {
+		t.Errorf("%d segment files after Drop, want 0", n)
+	}
+	m.Drop("k") // idempotent
+}
+
+func TestTornSegmentDetected(t *testing.T) {
+	m := newTestManager(t)
+	payload := bytes.Repeat([]byte("spillspill"), 50)
+	if err := m.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := onlySegFile(t, m.Dir())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-payload: the torn-write shape a power loss leaves.
+	if err := os.WriteFile(path, data[:len(data)-120], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("k"); !errors.Is(err, ErrTorn) {
+		t.Errorf("Get on truncated segment: %v, want ErrTorn", err)
+	}
+	// Cut inside the header line too.
+	if err := os.WriteFile(path, data[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("k"); !errors.Is(err, ErrTorn) {
+		t.Errorf("Get on header-truncated segment: %v, want ErrTorn", err)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	m := newTestManager(t)
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	if err := m.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := onlySegFile(t, m.Dir())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-7] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get on bit-flipped segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGarbageAndWrongMagicDetected(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Put("k", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	path := onlySegFile(t, m.Dir())
+	for name, content := range map[string][]byte{
+		"wrong magic": []byte("OCDCKPT 1 4 00\nabcd"),
+		"garbage":     []byte("not a segment at all\n"),
+		"bad version": []byte("OCDSPILL 99 4 e242ed3bffccdf271b7fbaf34ed72d089537b42f92e7d1afe479ac2d1dc9ccdc\ndata"),
+		"trailing":    append(readAll(t, path), 'x'),
+	} {
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Get("k"); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Get = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestNewManagerWipesOrphans: opening a directory holding a dead process's
+// segments deletes them — they are unreachable without the key map.
+func TestNewManagerWipesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"seg-1.seg", "seg-2.seg", "seg-3.seg.tmp", "other.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("leftover"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if n := countSegFiles(t, dir); n != 0 {
+		t.Errorf("%d orphan segments survived NewManager, want 0", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "other.txt")); err != nil {
+		t.Errorf("non-spill file was wiped: %v", err)
+	}
+}
+
+// TestSweep: the no-manager crash-recovery path, including one directory
+// level of per-job spill dirs.
+func TestSweep(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "job1")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		filepath.Join(dir, "seg-9.seg"),
+		filepath.Join(sub, "seg-1.seg"),
+		filepath.Join(sub, "seg-2.seg.tmp"),
+	} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Sweep(dir); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSegFiles(t, dir) + countSegFiles(t, sub); n != 0 {
+		t.Errorf("%d orphans survived Sweep, want 0", n)
+	}
+	if err := Sweep(filepath.Join(dir, "missing")); err != nil {
+		t.Errorf("Sweep on a missing dir: %v, want nil", err)
+	}
+}
+
+func TestCloseRemovesEverything(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "spill")
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("empty spill dir survived Close: %v", err)
+	}
+	if err := m.Put("b", []byte("2")); err == nil {
+		t.Error("Put after Close succeeded, want error")
+	}
+	if _, err := m.Get("a"); err == nil {
+		t.Error("Get after Close succeeded, want error")
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	m := newTestManager(t)
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		if err := m.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Keys()
+	want := []string{"apple", "mango", "zebra"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func countSegFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == segExt {
+			n++
+		}
+	}
+	return n
+}
+
+func onlySegFile(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == segExt {
+			if path != "" {
+				t.Fatal("more than one segment file")
+			}
+			path = filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		t.Fatal("no segment file")
+	}
+	return path
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

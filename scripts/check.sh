@@ -36,12 +36,20 @@
 #                                requires byte-identical resumed results,
 #                                a poisoned crash-looping job, and a
 #                                clean SIGTERM drain
-#   8. bench smoke               scripts/bench.sh --smoke runs every
+#   8. spill chaos               scripts/spill_chaos.sh runs discovery
+#                                under a 1-byte memory budget fully
+#                                out-of-core and injects torn spill
+#                                segments, bit rot, read/write faults and
+#                                a mid-spill-write kill; every leg must
+#                                match an unconstrained run byte for
+#                                byte, and a total write failure must
+#                                fall back to a typed truncation
+#   9. bench smoke               scripts/bench.sh --smoke runs every
 #                                tracked benchmark once and requires the
 #                                output to parse into the trajectory
 #                                format (cmd/benchjson); full trajectory
 #                                runs stay manual (make bench)
-#   9. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
+#  10. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
 #                                FuzzCheckpointDecode for FUZZTIME each
 #                                (default 10s)
 #
@@ -83,6 +91,9 @@ scripts/resume_chaos.sh
 
 step "chaos: job-server kill-and-restart differential (scripts/serve_chaos.sh)"
 scripts/serve_chaos.sh
+
+step "chaos: out-of-core spill differential (scripts/spill_chaos.sh)"
+scripts/spill_chaos.sh
 
 step "bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke

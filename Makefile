@@ -1,7 +1,7 @@
 # Convenience wrappers around the check gate; scripts/check.sh is the
 # source of truth for what CI runs.
 
-.PHONY: build test race lint lint-json lint-fix lint-fix-diff lint-baseline lint-timings chaos resume-chaos serve-chaos spill-chaos fuzz bench bench-smoke check
+.PHONY: build test race lint lint-json lint-fix lint-fix-diff lint-baseline lint-timings chaos resume-chaos serve-chaos spill-chaos obs-chaos fuzz bench bench-smoke check
 
 build:
 	go build ./...
@@ -70,6 +70,14 @@ serve-chaos:
 # (docs/ROBUSTNESS.md).
 spill-chaos:
 	scripts/spill_chaos.sh
+
+# obs-chaos proves the observability contract: Prometheus text matching
+# the JSON snapshot, SSE streams with monotone ids whose done event is
+# bound to the result hash, a Last-Event-ID reconnect across a mid-stream
+# server kill, per-job Chrome traces, and parseable structured logs
+# (docs/OBSERVABILITY.md).
+obs-chaos:
+	scripts/obs_chaos.sh
 
 fuzz:
 	go test -run='^$$' -fuzz='^FuzzCSVParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/relation/

@@ -25,7 +25,10 @@
 // JSON; -trace-out writes a Chrome trace_event file loadable in
 // chrome://tracing or Perfetto; -trace-tree-out writes the same spans as a
 // nested JSON tree. -debug-addr serves /debug/pprof, /debug/vars and
-// /metrics for the duration of the run.
+// /metrics for the duration of the run (Prometheus text with
+// ?format=prometheus or an Accept: text/plain header, JSON otherwise).
+// Operational warnings are structured log/slog records on stderr;
+// -log-format selects text or json, -log-level the threshold.
 //
 // Interrupting a run (Ctrl-C / SIGINT / SIGTERM) still prints the partial
 // summary of everything found so far. With -checkpoint the run is also
@@ -53,6 +56,7 @@ import (
 
 	"ocd"
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 )
 
 // exitPartial is the exit code for a truncated or interrupted run whose
@@ -87,10 +91,21 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event file (chrome://tracing, Perfetto) to this path")
 		traceTree   = flag.String("trace-tree-out", "", "write the span tree as JSON to this path")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
+		logFormat   = flag.String("log-format", "text", "operational log format: text or json")
+		logLevel    = flag.String("log-level", "info", "operational log threshold: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "ocddiscover: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Operational warnings (checkpoint/spill degradation, debug server) go
+	// through slog so service wrappers can parse them; results stay on
+	// stdout untouched.
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocddiscover:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,7 +138,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "ocddiscover: debug server on http://%s/debug/pprof/\n", bound)
+		logger.Info("debug server listening", "url", "http://"+bound+"/debug/pprof/")
 	}
 
 	opts := []ocd.LoadOption{}
@@ -321,10 +336,10 @@ func main() {
 	}
 	fmt.Printf("\n%s\n", res.Summary())
 	if res.Stats.CheckpointError != "" {
-		fmt.Fprintf(os.Stderr, "ocddiscover: checkpointing disabled after write failure: %s\n", res.Stats.CheckpointError)
+		logger.Warn("checkpointing disabled after write failure", "error", res.Stats.CheckpointError)
 	}
 	if res.Stats.SpillError != "" {
-		fmt.Fprintf(os.Stderr, "ocddiscover: spill dir unusable, running fully in-memory: %s\n", res.Stats.SpillError)
+		logger.Warn("spill dir unusable, running fully in-memory", "error", res.Stats.SpillError)
 	}
 	if path, ok := resumableSnapshot(*ckptPath, res); ok {
 		fmt.Printf("\ncheckpoint: %s\nresume with: %s\n", path, resumeCommand(path))

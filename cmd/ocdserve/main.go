@@ -11,6 +11,11 @@
 // at any instant is also safe — that is what the write-ahead manifests and
 // level-barrier snapshots are for — it just skips the courtesy checkpoint
 // of mid-level work.
+//
+// Logging is structured (log/slog): -log-format selects text or json,
+// -log-level the threshold. Every job-scoped record carries job_id and
+// attempt attrs; every HTTP access record carries the request_id echoed
+// to the client in X-Request-ID.
 package main
 
 import (
@@ -18,7 +23,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -52,6 +56,8 @@ func run() int {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight jobs to checkpoint on shutdown")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address here once serving (for scripts using an ephemeral :0 port)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -60,15 +66,17 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	if err := faultinject.ArmFromEnv(); err != nil {
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
 		return 2
 	}
-
-	logger := log.New(os.Stderr, "ocdserve: ", log.LstdFlags|log.Lmsgprefix)
-	logf := logger.Printf
 	if *quiet {
-		logf = func(string, ...any) {}
+		logger = obs.NopLogger()
+	}
+	if err := faultinject.ArmFromEnv(); err != nil {
+		logger.Error("bad OCD_FAULT spec", "error", err)
+		return 2
 	}
 
 	reg := obs.NewRegistry()
@@ -85,42 +93,43 @@ func run() int {
 		RetryAfter:      *retryAfter,
 		MinFreeBytes:    *minFree,
 		Metrics:         reg,
-		Logf:            logf,
+		Logger:          logger,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
+		logger.Error("open data directory failed", "dir", *dir, "error", err)
 		return 1
 	}
 
 	if *debugAddr != "" {
 		bound, stop, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ocdserve: debug server: %v\n", err)
+			logger.Error("debug server failed to start", "addr", *debugAddr, "error", err)
 			return 1
 		}
 		defer stop()
-		logf("debug server on %s", bound)
+		logger.Info("debug server listening", "addr", bound)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	m.Start(ctx)
 
+	api := jobs.NewServer(m)
 	srv := &http.Server{
-		Handler:           jobs.NewServer(m),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
 		return 1
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	logf("listening on %s, data in %s", ln.Addr(), *dir)
+	logger.Info("listening", "addr", ln.Addr().String(), "dir", *dir)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
+			logger.Error("writing addr file failed", "path", *addrFile, "error", err)
 			return 1
 		}
 	}
@@ -129,27 +138,29 @@ func run() int {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigCh:
-		logf("received %v, draining", sig)
+		logger.Info("drain starting", "signal", sig.String(), "drain", true)
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	}
 
 	// Graceful drain: stop admissions and let in-flight jobs checkpoint and
-	// persist as interrupted, then stop the listener and the scheduler.
+	// persist as interrupted, release SSE streams (Shutdown would otherwise
+	// wait on them), then stop the listener and the scheduler.
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer drainCancel()
 	code := 0
 	if err := m.Drain(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "ocdserve: %v\n", err)
+		logger.Error("drain failed", "error", err, "drain", true)
 		code = 1
 	}
+	api.Close()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "ocdserve: shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "error", err, "drain", true)
 		code = 1
 	}
 	cancel()
 	m.Wait()
-	logf("drained, exiting")
+	logger.Info("drained, exiting", "drain", true, "code", code)
 	return code
 }

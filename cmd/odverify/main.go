@@ -14,7 +14,11 @@
 // Usage:
 //
 //	odverify -input data.csv -deps constraints.txt [-eps 0.01]
-//	         [-metrics-out m.json] [-debug-addr :6060]
+//	         [-metrics-out m.json] [-trace-out t.json] [-debug-addr :6060]
+//
+// -trace-out writes a Chrome trace_event file (chrome://tracing, Perfetto)
+// with one span per checked dependency, annotated with its verdict —
+// profiling which constraints dominate verification time.
 //
 // Exit status 0 when everything holds (or is within -eps), 1 otherwise,
 // 3 when interrupted (Ctrl-C) before all dependencies were checked — the
@@ -44,6 +48,7 @@ func main() {
 		eps        = flag.Float64("eps", 0, "tolerated violation fraction (approximate check)")
 		sep        = flag.String("sep", ",", "CSV field separator")
 		metricsOut = flag.String("metrics-out", "", "write the checker's metrics (cache hits/misses) as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file with one span per checked dependency")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
@@ -94,6 +99,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odverify: debug server on http://%s/debug/pprof/\n", bound)
 	}
 
+	// Span per dependency: the trace shows where verification time goes and
+	// each span's "violated" attr carries the verdict. All span calls are
+	// nil-safe, so without -trace-out this costs nothing.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer("odverify")
+	}
+	flushTrace := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.Finish()
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "odverify:", err)
+		}
+	}
+
 	chk := order.NewChecker(r, 64)
 	chk.SetObs(reg)
 	apx := approx.NewChecker(r)
@@ -103,48 +125,60 @@ func main() {
 		if ctx.Err() != nil {
 			fmt.Printf("interrupted after %d of %d dependencies (%d violated so far)\n",
 				checked, len(parsed), failures)
+			flushTrace()
 			os.Exit(3)
 		}
 		checked++
-		if d.OCD {
-			if chk.CheckOCD(d.Lhs, d.Rhs) {
-				fmt.Printf("OK    %s\n", d.Raw)
-				continue
+		sp := tracer.Root().StartChild("check:" + d.Raw)
+		before := failures
+		func() {
+			defer func() {
+				if failures > before {
+					sp.SetAttr("violated", 1)
+				}
+				sp.End()
+			}()
+			if d.OCD {
+				if chk.CheckOCD(d.Lhs, d.Rhs) {
+					fmt.Printf("OK    %s\n", d.Raw)
+					return
+				}
+				e := apx.OCDError(d.Lhs, d.Rhs)
+				if e <= *eps {
+					fmt.Printf("OK~   %s (error %.4f within eps)\n", d.Raw, e)
+					return
+				}
+				failures++
+				fmt.Printf("FAIL  %s (error %.4f)\n", d.Raw, e)
+				return
 			}
-			e := apx.OCDError(d.Lhs, d.Rhs)
+			full := chk.CheckODFull(d.Lhs, d.Rhs)
+			if full.Valid {
+				fmt.Printf("OK    %s\n", d.Raw)
+				return
+			}
+			e := apx.Error(d.Lhs, d.Rhs)
 			if e <= *eps {
 				fmt.Printf("OK~   %s (error %.4f within eps)\n", d.Raw, e)
-				continue
+				return
 			}
 			failures++
-			fmt.Printf("FAIL  %s (error %.4f)\n", d.Raw, e)
-			continue
-		}
-		full := chk.CheckODFull(d.Lhs, d.Rhs)
-		if full.Valid {
-			fmt.Printf("OK    %s\n", d.Raw)
-			continue
-		}
-		e := apx.Error(d.Lhs, d.Rhs)
-		if e <= *eps {
-			fmt.Printf("OK~   %s (error %.4f within eps)\n", d.Raw, e)
-			continue
-		}
-		failures++
-		witness := ""
-		if full.HasSplit {
-			w := full.SplitWitness
-			witness = fmt.Sprintf("split rows %d/%d", w.P, w.Q)
-		}
-		if full.HasSwap {
-			w := full.SwapWitness
-			if witness != "" {
-				witness += ", "
+			witness := ""
+			if full.HasSplit {
+				w := full.SplitWitness
+				witness = fmt.Sprintf("split rows %d/%d", w.P, w.Q)
 			}
-			witness += fmt.Sprintf("swap rows %d/%d", w.P, w.Q)
-		}
-		fmt.Printf("FAIL  %s (error %.4f; %s)\n", d.Raw, e, witness)
+			if full.HasSwap {
+				w := full.SwapWitness
+				if witness != "" {
+					witness += ", "
+				}
+				witness += fmt.Sprintf("swap rows %d/%d", w.P, w.Q)
+			}
+			fmt.Printf("FAIL  %s (error %.4f; %s)\n", d.Raw, e, witness)
+		}()
 	}
+	flushTrace()
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
 			fail(err)
@@ -155,6 +189,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d dependencies hold\n", len(parsed))
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeMetrics(path string, reg *obs.Registry) error {

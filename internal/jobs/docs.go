@@ -1,7 +1,6 @@
 package jobs
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -298,13 +297,4 @@ func (m *Manager) SimplifyOrderBy(ctx context.Context, id string, columns []stri
 		return SimplifyDoc{}, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	return SimplifyDoc{OrderBy: columns, Simplified: simplified}, nil
-}
-
-// MetricsJSON serializes the manager's metrics registry.
-func (m *Manager) MetricsJSON() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := m.cfg.Metrics.WriteJSON(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
 }

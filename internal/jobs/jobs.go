@@ -149,6 +149,7 @@ const (
 	inputFile    = "input.csv"
 	snapshotFile = "job.ckpt"
 	resultFile   = "result.json"
+	traceFile    = "trace.json"
 	spillSubdir  = "spill"
 )
 
@@ -156,6 +157,7 @@ func manifestPath(dir string) string { return filepath.Join(dir, manifestFile) }
 func inputPath(dir string) string    { return filepath.Join(dir, inputFile) }
 func snapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }
 func resultPath(dir string) string   { return filepath.Join(dir, resultFile) }
+func tracePath(dir string) string    { return filepath.Join(dir, traceFile) }
 func spillDirPath(dir string) string { return filepath.Join(dir, spillSubdir) }
 
 // writeJSONAtomic persists v as indented JSON at path with the same
@@ -168,6 +170,12 @@ func writeJSONAtomic(path string, v any) error {
 		return fmt.Errorf("jobs: encode %s: %w", path, err)
 	}
 	data = append(data, '\n')
+	return writeBytesAtomic(path, data)
+}
+
+// writeBytesAtomic is the raw-bytes form of writeJSONAtomic, shared with
+// pre-encoded artifacts like the per-attempt trace capture.
+func writeBytesAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -233,6 +241,9 @@ var (
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrNoResult: the job exists but has no result document yet (409).
 	ErrNoResult = errors.New("jobs: result not available")
+	// ErrNoTrace: the job exists but no attempt has captured a span trace
+	// yet (409) — the trace is written when an attempt finishes.
+	ErrNoTrace = errors.New("jobs: trace not available")
 	// ErrBadInput: the request itself is invalid — bad name, bad option,
 	// unknown column (400).
 	ErrBadInput = errors.New("jobs: invalid request")

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/binary"
@@ -8,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	mrand "math/rand"
 	"os"
 	"path/filepath"
@@ -66,8 +68,9 @@ type Config struct {
 	// Metrics receives the manager's counters and gauges (nil = private
 	// registry).
 	Metrics *obs.Registry
-	// Logf receives operational log lines (nil = silent).
-	Logf func(format string, args ...any)
+	// Logger receives the manager's operational log records, each
+	// correlated with job_id/attempt attrs (nil = silent).
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -101,6 +104,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 }
 
@@ -142,14 +148,21 @@ type Job struct {
 	// fileMu serializes manifest writes so concurrent persists (runner vs.
 	// an HTTP cancel) cannot interleave their temp-file renames.
 	fileMu sync.Mutex
+
+	// events fans job lifecycle out to SSE subscribers; created lazily so
+	// jobs without streamers pay one pointer.
+	eventsOnce sync.Once
+	events     *eventHub
 }
 
 // Report implements obs.Reporter: the engine delivers live Progress samples
-// here and the status endpoint serves the latest one.
+// here; the status endpoint serves the latest one and every SSE stream
+// receives it as a "progress" event.
 func (j *Job) Report(p obs.Progress) {
 	j.mu.Lock()
 	j.prog, j.hasProg = p, true
 	j.mu.Unlock()
+	j.publishProgress(progressDoc(p))
 }
 
 // ID returns the job's identifier.
@@ -175,19 +188,33 @@ func (j *Job) persist() error {
 // write-ahead property the crash recovery relies on. A non-nil error
 // reports a failed disk write; the new state is still live in memory
 // (durability degraded, not correctness).
+//
+// Every state change that goes through here is also fanned out to the
+// job's SSE subscribers: a "state" event, plus the sticky "done" event
+// when the new state is terminal. Publishing after the in-memory
+// publish (still under fileMu) keeps the event order identical to the
+// observable state order.
 func (j *Job) transition(mutate func(man *Manifest) bool) (bool, error) {
 	j.fileMu.Lock()
 	defer j.fileMu.Unlock()
 	j.mu.Lock()
 	man := j.man
 	j.mu.Unlock()
+	old := man.State
 	if !mutate(&man) {
 		return false, nil
 	}
 	err := writeJSONAtomic(manifestPath(j.dir), &man)
 	j.mu.Lock()
 	j.man = man
+	resultReady := j.resultReady
 	j.mu.Unlock()
+	if man.State != old {
+		j.publishState(&man)
+		if man.State.Terminal() {
+			j.publishDone(man.State, resultReady)
+		}
+	}
 	return true, err
 }
 
@@ -274,13 +301,13 @@ func (m *Manager) recover() error {
 			if os.IsNotExist(err) {
 				// A crash between MkdirAll and the first manifest write
 				// leaves an empty husk; sweep it.
-				m.logf("recover: removing manifest-less dir %s", dir)
+				m.cfg.Logger.Warn("recover: removing manifest-less dir", "dir", dir)
 				if rmErr := os.RemoveAll(dir); rmErr != nil {
-					m.logf("recover: %v", rmErr)
+					m.cfg.Logger.Warn("recover: cleanup failed", "dir", dir, "error", rmErr)
 				}
 				continue
 			}
-			m.logf("recover: skipping %s: %v", dir, err)
+			m.cfg.Logger.Warn("recover: skipping unreadable manifest", "dir", dir, "error", err)
 			continue
 		}
 		j := &Job{id: man.ID, dir: dir, man: *man}
@@ -292,7 +319,7 @@ func (m *Manager) recover() error {
 		// opens its own manager over the same dir) and dead weight to a
 		// terminal job. Sweep unconditionally.
 		if err := spill.Sweep(spillDirPath(dir)); err != nil {
-			m.logf("recover: spill sweep %s: %v", j.id, err)
+			m.cfg.Logger.Warn("recover: spill sweep failed", "job_id", j.id, "error", err)
 		}
 		switch man.State {
 		case StateQueued:
@@ -312,20 +339,27 @@ func (m *Manager) recover() error {
 				}
 				j.man.UpdatedAt = time.Now().UTC()
 				if err := j.persist(); err != nil {
-					m.logf("recover: persist %s: %v", j.id, err)
+					m.cfg.Logger.Error("recover: persist failed", "job_id", j.id, "error", err)
 				}
 				m.mFailed.Inc()
-				m.logf("recover: job %s (%s) poisoned after %d crashed attempts", j.id, man.Name, man.Attempts)
+				m.cfg.Logger.Warn("recover: job poisoned after crashed attempts",
+					"job_id", j.id, "name", man.Name, "attempt", man.Attempts)
 			} else {
 				j.man.State = StateQueued
 				j.man.UpdatedAt = time.Now().UTC()
 				if err := j.persist(); err != nil {
-					m.logf("recover: persist %s: %v", j.id, err)
+					m.cfg.Logger.Error("recover: persist failed", "job_id", j.id, "error", err)
 				}
 				requeue = append(requeue, j)
 				m.mRecovered.Inc()
-				m.logf("recover: job %s (%s) requeued (attempt %d, interrupted=%v)", j.id, man.Name, man.Attempts, interrupted)
+				m.cfg.Logger.Info("recover: job requeued",
+					"job_id", j.id, "name", man.Name, "attempt", man.Attempts, "interrupted", interrupted)
 			}
+		}
+		// Jobs recovered already terminal close their hub immediately, so
+		// an SSE subscriber connecting after a restart still gets `done`.
+		if j.man.State.Terminal() {
+			j.publishDone(j.man.State, j.resultReady)
 		}
 		m.jobs[j.id] = j
 	}
@@ -460,7 +494,7 @@ func (m *Manager) Submit(ctx context.Context, name string, src io.Reader, opts J
 	if err != nil {
 		release()
 		if rmErr := os.RemoveAll(dir); rmErr != nil {
-			m.logf("submit: cleanup %s: %v", dir, rmErr)
+			m.cfg.Logger.Warn("submit: cleanup failed", "dir", dir, "error", rmErr)
 		}
 		if errors.Is(err, ErrTooLarge) {
 			m.mRejected.Inc()
@@ -486,7 +520,7 @@ func (m *Manager) Submit(ctx context.Context, name string, src io.Reader, opts J
 	if err := j.persist(); err != nil {
 		release()
 		if rmErr := os.RemoveAll(dir); rmErr != nil {
-			m.logf("submit: cleanup %s: %v", dir, rmErr)
+			m.cfg.Logger.Warn("submit: cleanup failed", "dir", dir, "error", rmErr)
 		}
 		return nil, err
 	}
@@ -497,7 +531,7 @@ func (m *Manager) Submit(ctx context.Context, name string, src io.Reader, opts J
 		// Drain started while we were writing; reject late rather than run.
 		m.mu.Unlock()
 		if rmErr := os.RemoveAll(dir); rmErr != nil {
-			m.logf("submit: cleanup %s: %v", dir, rmErr)
+			m.cfg.Logger.Warn("submit: cleanup failed", "dir", dir, "error", rmErr)
 		}
 		m.mRejected.Inc()
 		return nil, ErrDraining
@@ -508,7 +542,7 @@ func (m *Manager) Submit(ctx context.Context, name string, src io.Reader, opts J
 	m.mu.Unlock()
 
 	m.mSubmitted.Inc()
-	m.logf("job %s (%s): admitted, %d bytes", id, name, n)
+	m.cfg.Logger.Info("job admitted", "job_id", id, "name", name, "bytes", n)
 	m.kickSched()
 	return j, nil
 }
@@ -591,7 +625,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		return true
 	})
 	if err != nil {
-		m.logf("job %s: persist: %v", j.id, err)
+		m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 	}
 	if !started {
 		j.mu.Lock()
@@ -599,7 +633,8 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		j.mu.Unlock()
 		return
 	}
-	m.logf("job %s (%s): attempt %d/%d starting", j.id, name, attempt, m.cfg.MaxAttempts)
+	m.cfg.Logger.Info("attempt starting",
+		"job_id", j.id, "name", name, "attempt", attempt, "max_attempts", m.cfg.MaxAttempts)
 
 	out := m.runAttempt(ctx, j, name)
 	m.finishAttempt(j, out)
@@ -613,10 +648,28 @@ var testHookBeforeRun func(ctx context.Context, name string)
 // runAttempt loads the input and runs discovery, resuming from the job's
 // snapshot when one exists. Panics — including injected poison faults — are
 // caught here so one bad job never takes the server down.
+//
+// Each attempt records its span tree (load → levels → worker batches)
+// and persists it as Chrome trace_event JSON in the job directory on
+// the way out — panic, error or success — where GET /jobs/{id}/trace
+// serves it. Span creation is phase-granular, so the capture costs
+// nothing on the per-check hot path.
 func (m *Manager) runAttempt(ctx context.Context, j *Job, name string) (out attemptOutcome) {
 	defer func() {
 		if v := recover(); v != nil {
 			out.err = &runnerPanic{val: v, stack: debug.Stack()}
+		}
+	}()
+	tr := obs.NewTracer("job:" + name)
+	defer func() {
+		tr.Finish()
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			m.cfg.Logger.Warn("trace encode failed", "job_id", j.id, "error", err)
+			return
+		}
+		if err := writeBytesAtomic(tracePath(j.dir), buf.Bytes()); err != nil {
+			m.cfg.Logger.Warn("trace persist failed", "job_id", j.id, "error", err)
 		}
 	}()
 	// Per-job fault point: `OCD_FAULT="jobs.run.<name>:panic:*"` poisons
@@ -638,7 +691,8 @@ func (m *Manager) runAttempt(ctx context.Context, j *Job, name string) (out atte
 	// Chunked ingestion bounds the load-phase row buffer, so a server under a
 	// memory budget never holds the whole CSV as raw strings; the resulting
 	// table is cell-for-cell identical to the whole-file loader's.
-	tbl, err := ocd.LoadCSVChunked(f, name, loadOptions(ctx, opts)...)
+	lo := append(loadOptions(ctx, opts), ocd.WithTrace(tr.Root()))
+	tbl, err := ocd.LoadCSVChunked(f, name, lo...)
 	f.Close() // lint:allow errdrop — read-only file, the load error dominates
 	if err != nil {
 		out.err = err
@@ -661,6 +715,7 @@ func (m *Manager) runAttempt(ctx context.Context, j *Job, name string) (out atte
 		// checker state here instead of truncating the run.
 		SpillDir: spillDirPath(j.dir),
 		Reporter: j,
+		Trace:    tr.Root(),
 	}
 	if _, statErr := os.Stat(snapshotPath(j.dir)); statErr == nil {
 		dopts.ResumeFrom = snapshotPath(j.dir)
@@ -701,11 +756,12 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 
 	switch {
 	case cause == causeDelete:
+		j.publishDone(StateDeleted, false)
 		m.forget(j)
 		if err := os.RemoveAll(j.dir); err != nil {
-			m.logf("job %s: delete: %v", j.id, err)
+			m.cfg.Logger.Error("delete failed", "job_id", j.id, "error", err)
 		}
-		m.logf("job %s (%s): deleted mid-run", j.id, name)
+		m.cfg.Logger.Info("job deleted mid-run", "job_id", j.id, "name", name)
 		return
 
 	case out.err == nil:
@@ -714,7 +770,7 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 		// the disk before the manifest flips, so "completed" always implies
 		// a readable result.json.
 		if err := m.writeResult(j, out); err != nil {
-			m.logf("job %s: result: %v", j.id, err)
+			m.cfg.Logger.Error("result persist failed", "job_id", j.id, "error", err)
 			m.failJob(j, now, KindInternal, err.Error(), "")
 			break
 		}
@@ -728,19 +784,21 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 			man.UpdatedAt = now
 			return true
 		}); err != nil {
-			m.logf("job %s: persist: %v", j.id, err)
+			m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 		}
 		m.mCompleted.Inc()
-		m.logf("job %s (%s): completed (%d OCDs, resumed=%v)", j.id, name, len(out.res.OCDs), out.resumed)
+		m.cfg.Logger.Info("job completed",
+			"job_id", j.id, "name", name, "attempt", attempts,
+			"ocds", len(out.res.OCDs), "resumed", out.resumed)
 
 	case errors.Is(out.err, ocd.ErrCheckpointMismatch):
 		// The dataset changed under the snapshot: deterministic, terminal.
 		m.failJob(j, now, KindCheckpointMismatch, out.err.Error(), "")
-		m.logf("job %s (%s): checkpoint mismatch: %v", j.id, name, out.err)
+		m.cfg.Logger.Error("checkpoint mismatch", "job_id", j.id, "name", name, "error", out.err)
 
 	case errors.Is(out.err, ocd.ErrCheckpointCorrupt):
 		m.failJob(j, now, KindCheckpointCorrupt, out.err.Error(), "")
-		m.logf("job %s (%s): checkpoint corrupt: %v", j.id, name, out.err)
+		m.cfg.Logger.Error("checkpoint corrupt", "job_id", j.id, "name", name, "error", out.err)
 
 	case cause == causeDrain && ctxErr:
 		// Graceful drain: the engine already wrote a stop snapshot; requeue
@@ -753,16 +811,17 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 			man.UpdatedAt = now
 			return true
 		}); err != nil {
-			m.logf("job %s: persist: %v", j.id, err)
+			m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 		}
-		m.logf("job %s (%s): interrupted by drain, checkpointed for resume", j.id, name)
+		m.cfg.Logger.Info("attempt interrupted by drain, checkpointed for resume",
+			"job_id", j.id, "name", name, "attempt", attempts, "drain", true)
 
 	case ctxErr:
 		// User cancel (or the server's root context died): terminal, but
 		// whatever was validated before the stop is preserved.
 		if out.res != nil {
 			if err := m.writeResult(j, out); err != nil {
-				m.logf("job %s: partial result: %v", j.id, err)
+				m.cfg.Logger.Error("partial result persist failed", "job_id", j.id, "error", err)
 			} else {
 				j.mu.Lock()
 				j.resultReady = true
@@ -777,10 +836,10 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 			man.UpdatedAt = now
 			return true
 		}); err != nil {
-			m.logf("job %s: persist: %v", j.id, err)
+			m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 		}
 		m.mCancelled.Inc()
-		m.logf("job %s (%s): cancelled", j.id, name)
+		m.cfg.Logger.Info("job cancelled", "job_id", j.id, "name", name, "attempt", attempts)
 
 	case errors.Is(out.err, ocd.ErrWorkerPanic), errors.Is(out.err, errRunnerPanic):
 		kind := KindWorkerPanic
@@ -792,7 +851,7 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 			// Poison cap: give up, keep the evidence, stay healthy.
 			if out.res != nil {
 				if err := m.writeResult(j, out); err != nil {
-					m.logf("job %s: partial result: %v", j.id, err)
+					m.cfg.Logger.Error("partial result persist failed", "job_id", j.id, "error", err)
 				} else {
 					j.mu.Lock()
 					j.resultReady = true
@@ -800,7 +859,8 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 				}
 			}
 			m.failJob(j, now, kind, out.err.Error(), stack)
-			m.logf("job %s (%s): poisoned after %d attempts: %v", j.id, name, attempts, out.err)
+			m.cfg.Logger.Error("job poisoned",
+				"job_id", j.id, "name", name, "attempt", attempts, "error", out.err)
 		} else {
 			if _, err := j.transition(func(man *Manifest) bool {
 				man.State = StateQueued
@@ -810,11 +870,13 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 				man.UpdatedAt = now
 				return true
 			}); err != nil {
-				m.logf("job %s: persist: %v", j.id, err)
+				m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 			}
 			m.mRetries.Inc()
 			delay := m.backoff(attempts)
-			m.logf("job %s (%s): attempt %d/%d panicked, retrying in %v: %v", j.id, name, attempts, m.cfg.MaxAttempts, delay, out.err)
+			m.cfg.Logger.Warn("attempt panicked, retrying",
+				"job_id", j.id, "name", name, "attempt", attempts,
+				"max_attempts", m.cfg.MaxAttempts, "delay", delay, "error", out.err)
 			m.scheduleRetry(j, delay)
 		}
 
@@ -822,7 +884,7 @@ func (m *Manager) finishAttempt(j *Job, out attemptOutcome) {
 		// Deterministic input/engine error (CSV parse, unknown column, …):
 		// a retry would fail identically, so fail now.
 		m.failJob(j, now, KindInput, out.err.Error(), "")
-		m.logf("job %s (%s): failed: %v", j.id, name, out.err)
+		m.cfg.Logger.Warn("job failed", "job_id", j.id, "name", name, "error", out.err)
 	}
 }
 
@@ -836,7 +898,7 @@ func (m *Manager) failJob(j *Job, now time.Time, kind, msg, stack string) {
 		man.UpdatedAt = now
 		return true
 	}); err != nil {
-		m.logf("job %s: persist: %v", j.id, err)
+		m.cfg.Logger.Error("manifest persist failed", "job_id", j.id, "error", err)
 	}
 	m.mFailed.Inc()
 }
@@ -1053,7 +1115,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	active := m.active
 	m.mu.Unlock()
-	m.logf("drain: admissions stopped, %d attempts in flight", active)
+	m.cfg.Logger.Info("drain: admissions stopped", "in_flight", active)
 
 	for _, j := range all {
 		m.stopRetryTimer(j)
@@ -1074,7 +1136,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		n := m.active
 		m.mu.Unlock()
 		if n == 0 {
-			m.logf("drain: complete")
+			m.cfg.Logger.Info("drain: complete")
 			return nil
 		}
 		select {
@@ -1085,8 +1147,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 }
 
-func (m *Manager) logf(format string, args ...any) {
-	if m.cfg.Logf != nil {
-		m.cfg.Logf(format, args...)
-	}
-}
+// Metrics returns the manager's metrics registry, for serving scrapes
+// and wiring the HTTP middleware onto the same instrument set.
+func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
+
+// Logger returns the manager's structured logger (never nil after Open).
+func (m *Manager) Logger() *slog.Logger { return m.cfg.Logger }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -14,6 +15,14 @@ import (
 
 	ocd "ocd"
 )
+
+// testLogWriter routes the manager's structured log output through t.Logf.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
 
 // testCSV builds a deterministic dataset with enough structure that
 // discovery crosses several levels yet finishes in milliseconds: b and c
@@ -37,8 +46,8 @@ func newTestManager(t *testing.T, cfg Config) *Manager {
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = time.Millisecond
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = t.Logf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
 	}
 	m, err := Open(cfg)
 	if err != nil {

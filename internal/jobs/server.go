@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ocd/internal/faultinject"
+	"ocd/internal/obs"
 )
 
 // Server is the HTTP face of a Manager. Routes (Go 1.22+ pattern syntax):
@@ -18,39 +21,70 @@ import (
 //	GET    /jobs                catalog of all jobs
 //	GET    /jobs/{id}           status + live progress
 //	GET    /jobs/{id}/result    the result document
+//	GET    /jobs/{id}/events    live progress/state/done as SSE
+//	GET    /jobs/{id}/trace     the last attempt's Chrome trace_event capture
 //	POST   /jobs/{id}/cancel    cooperative cancel
 //	POST   /jobs/{id}/simplify  ORDER BY simplification over the dataset
 //	DELETE /jobs/{id}           remove the job and its directory
 //	GET    /healthz             liveness + drain state
-//	GET    /metrics             the manager's metrics registry as JSON
+//	GET    /metrics             the manager's registry (JSON, or Prometheus
+//	                            text via Accept/?format negotiation)
+//
+// The whole mux runs behind obs.HTTPMetrics: every request gets an
+// X-Request-ID (minted or client-chosen) correlated into the access log,
+// per-route counters and latency histograms, and the in-flight gauge.
 //
 // Every route passes a faultinject HTTP point ("jobs.http.<route>") so the
 // chaos harness can stall handlers, fail them with 500s, or drop responses
 // mid-body under the faultinject build tag; in normal builds the points
 // compile to nothing.
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m       *Manager
+	mux     *http.ServeMux
+	handler http.Handler
+
+	// heartbeat paces SSE comment keep-alives; tests shorten it.
+	heartbeat time.Duration
+
+	// stop ends every open SSE stream so Shutdown is not held hostage by
+	// long-lived connections.
+	stopOnce sync.Once
+	stop     chan struct{}
 }
 
 // NewServer wires the routes for m.
 func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+	s := &Server{
+		m:         m,
+		mux:       http.NewServeMux(),
+		heartbeat: 15 * time.Second,
+		stop:      make(chan struct{}),
+	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("POST /jobs/{id}/simplify", s.handleSimplify)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = obs.HTTPMetrics(s.mux, m.Metrics(), m.Logger())
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Close releases every open SSE stream. Call it before (or instead of)
+// http.Server.Shutdown — Shutdown waits for active requests, and an SSE
+// stream is active until its job finishes or its client leaves.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
 }
 
 // errorDoc is the JSON error body: a message plus a stable machine-readable
@@ -88,6 +122,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		code, kind = http.StatusNotFound, "not-found"
 	case errors.Is(err, ErrNoResult):
 		code, kind = http.StatusConflict, "no-result"
+	case errors.Is(err, ErrNoTrace):
+		code, kind = http.StatusConflict, "no-trace"
 	case errors.Is(err, ErrBadInput):
 		code, kind = http.StatusBadRequest, "bad-input"
 	}
@@ -293,13 +329,120 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if faultinject.HTTPPoint("jobs.http.metrics", w) {
 		return
 	}
-	data, err := s.m.MetricsJSON()
+	obs.WriteMetricsHTTP(w, r, s.m.Metrics())
+}
+
+// handleTrace serves the Chrome trace_event capture the last finished
+// attempt left in the job directory (see runAttempt). 409 "no-trace"
+// until an attempt has run to an end at least once.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.trace", w) {
+		return
+	}
+	j, err := s.m.get(r.PathValue("id"))
 	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	data, err := os.ReadFile(tracePath(j.dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			err = fmt.Errorf("%w: no attempt has finished yet", ErrNoTrace)
+		}
 		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(data); err != nil {
 		_ = err // lint:allow errdrop — client went away mid-response
+	}
+}
+
+// lastEventID reads the client's resume position: the standard
+// Last-Event-ID header an EventSource sends on reconnect, or the
+// ?last-event-id query for clients that cannot set headers.
+func lastEventID(r *http.Request) int64 {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		v = r.URL.Query().Get("last-event-id")
+	}
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// handleEvents streams a job's lifecycle as Server-Sent Events:
+//
+//	id: <monotone sequence>
+//	event: progress | state | done
+//	data: <JSON payload>
+//
+// Heartbeat comments (`: hb`) keep idle connections alive through
+// proxies. The stream ends after the terminal "done" event (whose
+// payload carries the result document's SHA-256), when the client
+// leaves, or when the server shuts down. A reconnecting client sends
+// Last-Event-ID and resumes with strictly greater sequence IDs — across
+// server restarts too, since the hub renumbers above the client's
+// horizon (eventHub.resync).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if faultinject.HTTPPoint("jobs.http.events", w) {
+		return
+	}
+	j, err := s.m.get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			errorDoc{Error: "jobs: streaming unsupported by this connection", Kind: "internal"})
+		return
+	}
+
+	after := lastEventID(r)
+	hub := j.hub()
+	hub.resync(after)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+	for {
+		events, closed, wait := hub.next(after)
+		for _, ev := range events {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data); err != nil {
+				return // client went away
+			}
+			after = ev.Seq
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+			continue // drain everything pending before blocking
+		}
+		if closed {
+			return // done event delivered (now or before this connect)
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-wait:
+		}
 	}
 }

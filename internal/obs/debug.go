@@ -55,9 +55,8 @@ func ServeDebug(addr string, reg *Registry) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		reg.WriteJSON(w) // lint:allow errdrop — client went away; nothing to do
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		WriteMetricsHTTP(w, r, reg)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -65,6 +64,18 @@ func ServeDebug(addr string, reg *Registry) (string, func(), error) {
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) // lint:allow errdrop — returns ErrServerClosed on shutdown
-	stop := func() { srv.Close() } // lint:allow errdrop — best-effort teardown
+	stop := func() {
+		srv.Close() // lint:allow errdrop — best-effort teardown
+		// Unbind the expvar publication if it still points at this
+		// server's registry, so /debug/vars on a later ServeDebug (or
+		// a leftover expvar handler) never serves the stopped server's
+		// stale snapshot. expvarReg is nil-safe: Snapshot on nil
+		// returns the zero value.
+		expvarMu.Lock()
+		if expvarReg == reg {
+			expvarReg = nil
+		}
+		expvarMu.Unlock()
+	}
 	return ln.Addr().String(), stop, nil
 }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP middleware shared by the jobs API server: request-ID
+// correlation, per-route counters and latency histograms, an in-flight
+// gauge, and one structured access-log line per request. It wraps the
+// ServeMux, so after the inner handler runs the request's matched
+// Pattern identifies the route even for parameterized paths.
+
+// requestIDHeader both accepts a caller-chosen correlation ID and
+// echoes the assigned one, so clients can tie a response (and its
+// server-side log lines) back to their call.
+const requestIDHeader = "X-Request-ID"
+
+// latencyBounds covers 1ms..~4s in doubling buckets — API handlers are
+// either instant (status reads) or bounded by disk I/O, never by
+// discovery itself, which runs detached from the request.
+var latencyBounds = ExpBounds(1, 2, 12)
+
+// routeKey maps a matched mux pattern to a metric-name segment:
+// "GET /jobs/{id}/result" → "get_jobs_id_result". Unmatched requests
+// (404s from the mux) share the "unmatched" key so scanning attacks
+// cannot mint unbounded metric names.
+func routeKey(method, pattern string) string {
+	if pattern == "" {
+		return "unmatched"
+	}
+	// Patterns may carry their own method ("GET /jobs"); prefer it.
+	if m, rest, ok := strings.Cut(pattern, " "); ok {
+		method, pattern = m, rest
+	}
+	var b strings.Builder
+	b.WriteString(strings.ToLower(method))
+	prevUnderscore := false
+	for _, r := range pattern {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			prevUnderscore = false
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+			prevUnderscore = false
+		default:
+			if !prevUnderscore {
+				b.WriteByte('_')
+				prevUnderscore = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// statusWriter captures the response status while passing Flusher
+// through — the SSE handler downstream needs per-event flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// HTTPMetrics wraps next with the service middleware. Every request:
+//
+//   - gets a request ID (a client-sent X-Request-ID is kept, otherwise
+//     one is minted), stamped into the context (RequestIDFrom) and
+//     echoed in the X-Request-ID response header;
+//   - bumps http.requests.<route> and observes the latency into the
+//     http.latency_ms.<route> histogram, keyed by the matched mux
+//     pattern (so /jobs/{id} aggregates across IDs);
+//   - moves the http.in_flight gauge for its duration;
+//   - emits one logger line at Info (5xx at Error) with method, path,
+//     route, status, duration and request_id.
+//
+// reg and logger are optional (nil registry and nil logger both no-op),
+// so the middleware adds nothing to surfaces that leave them off.
+func HTTPMetrics(next http.Handler, reg *Registry, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = NopLogger()
+	}
+	inflight := reg.Gauge("http.in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = NewRequestID()
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		r = r.WithContext(WithRequestID(r.Context(), reqID))
+
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		inflight.Add(-1)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		// The mux fills r.Pattern during routing (same *Request), so
+		// the matched route is visible here, after the handler ran.
+		key := routeKey(r.Method, r.Pattern)
+		reg.Counter("http.requests." + key).Inc()
+		reg.Counter(fmt.Sprintf("http.status.%dxx", sw.status/100)).Inc()
+		reg.Histogram("http.latency_ms."+key, latencyBounds).Observe(elapsed.Milliseconds())
+
+		lvl := slog.LevelInfo
+		if sw.status >= 500 {
+			lvl = slog.LevelError
+		}
+		logger.LogAttrs(r.Context(), lvl, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", key),
+			slog.Int("status", sw.status),
+			slog.Int64("duration_ms", elapsed.Milliseconds()),
+			slog.String("request_id", reqID),
+		)
+	})
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the service surfaces. The repo standardizes on
+// log/slog with two wire formats (text for humans, json for log
+// pipelines) and correlates every job- and request-scoped line with
+// `job_id`, `attempt`, and `request_id` attrs so one job's lifecycle can
+// be grepped out of an interleaved server log.
+
+// NewLogger builds a slog.Logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn", or "error". Both are the
+// values accepted by the CLIs' -log-format/-log-level flags.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// nopHandler drops every record. Hand-rolled rather than
+// slog.DiscardHandler, which arrived in Go 1.24 (CI also runs 1.23).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything — the default
+// wherever a component accepts an optional *slog.Logger, so callers and
+// tests never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// requestIDKey is the context key for the per-request correlation ID.
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh random request ID (8 bytes, hex).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-unavailable" // crypto/rand failing is a platform fault; keep serving
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stamps the request ID into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID stamped by WithRequestID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -44,12 +44,20 @@
 #                                match an unconstrained run byte for
 #                                byte, and a total write failure must
 #                                fall back to a typed truncation
-#   9. bench smoke               scripts/bench.sh --smoke runs every
+#   9. obs chaos                 scripts/obs_chaos.sh scrapes the job
+#                                server in both metrics formats and
+#                                requires them to agree, streams SSE
+#                                through a mid-stream server kill with a
+#                                Last-Event-ID reconnect (monotone ids,
+#                                done bound to the result hash), fetches
+#                                the per-job Chrome trace, and parses the
+#                                structured logs
+#  10. bench smoke               scripts/bench.sh --smoke runs every
 #                                tracked benchmark once and requires the
 #                                output to parse into the trajectory
 #                                format (cmd/benchjson); full trajectory
 #                                runs stay manual (make bench)
-#  10. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
+#  11. fuzz smokes               FuzzCSVParse, FuzzRankEncode and
 #                                FuzzCheckpointDecode for FUZZTIME each
 #                                (default 10s)
 #
@@ -94,6 +102,9 @@ scripts/serve_chaos.sh
 
 step "chaos: out-of-core spill differential (scripts/spill_chaos.sh)"
 scripts/spill_chaos.sh
+
+step "chaos: observability gate (scripts/obs_chaos.sh)"
+scripts/obs_chaos.sh
 
 step "bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
